@@ -1,0 +1,55 @@
+"""Extension experiment: YCSB core workloads under RAM Ext.
+
+Not in the paper (which cites YCSB [41] but evaluates three other macro
+benchmarks) — this extends Table 1 with the six standard key-value
+workloads.  Expected shape: the zipfian point workloads (A/B/C/F) tolerate
+remote memory like Data Caching does; the scan workload (E) behaves like
+Spark SQL (most sensitive); read-latest (D) sits in between because its
+hotspot moves.
+"""
+
+from conftest import print_table
+
+from repro.analysis.harness import RamExtHarness
+from repro.workloads.ycsb import YCSB_WORKLOADS
+
+FRACTIONS = (0.2, 0.4, 0.5, 0.6, 0.8)
+PAGES = 1536
+
+
+def _sweep():
+    table = {}
+    for letter in "ABCDEF":
+        workload = YCSB_WORKLOADS[letter](total_pages=PAGES)
+        baseline = RamExtHarness(PAGES, 1.0).run(workload.stream(),
+                                                 workload.compute_s)
+        row = {}
+        for fraction in FRACTIONS:
+            harness = RamExtHarness(PAGES, fraction)
+            result = harness.run(workload.stream(), workload.compute_s)
+            row[fraction] = result.penalty_vs(baseline) * 100.0
+        table[letter] = row
+    return table
+
+
+def test_ycsb_ram_ext_penalty(benchmark):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = [[f"YCSB-{letter}"] + [table[letter][f] for f in FRACTIONS]
+            for letter in "ABCDEF"]
+    print_table("Extension — YCSB penalty (%) under RAM Ext",
+                ["workload"] + [f"{f * 100:.0f}%" for f in FRACTIONS], rows)
+
+    for letter, row in table.items():
+        # Weak monotonicity: more local memory never hurts much.
+        values = [row[f] for f in FRACTIONS]
+        assert all(a >= b - 5.0 for a, b in zip(values, values[1:])), letter
+        # At 80 % local every workload is close to native.
+        assert row[0.8] < 25.0, letter
+
+    # The scan workload is the most remote-sensitive at 20 % local,
+    # mirroring Spark SQL's position in Table 1.
+    worst = max(table, key=lambda k: table[k][0.2])
+    assert worst == "E"
+    # Zipfian point lookups tolerate remote memory best.
+    assert min(table[k][0.2] for k in "ABCF") < table["E"][0.2]

@@ -1,0 +1,59 @@
+"""Figure 10: datacenter energy saving — Neat vs Oasis vs ZombieStack.
+
+Synthetic Google-format traces (original, and the "modified" set where
+memory demand is twice the CPU demand) over both machine profiles.  Paper
+bars: original 36/40/54 (HP) and 36/40/56 (Dell); modified 36/42/65 and
+36/42/67 — ZombieStack beats Neat by ~86 % relative on the modified set.
+
+Known deviation (see EXPERIMENTS.md): our baseline is independent of
+memory pressure, so Neat/Oasis *decline* on the modified traces instead of
+staying flat; ZombieStack's relative advantage still widens as in the
+paper.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import dc_energy_comparison
+
+POLICIES = ("Neat", "Oasis", "ZombieStack")
+PAPER = {
+    "original": {"HP": (36, 40, 54), "Dell": (36, 40, 56)},
+    "modified": {"HP": (36, 42, 65), "Dell": (36, 42, 67)},
+}
+
+
+def test_fig10_dc_energy_saving(benchmark):
+    data = benchmark.pedantic(
+        lambda: dc_energy_comparison(n_servers=1000, duration_days=7.0),
+        rounds=1, iterations=1,
+    )
+
+    for trace_set, per_machine in data.items():
+        rows = []
+        for machine, row in per_machine.items():
+            rows.append([machine] + [f"{row[p]:.1f}%".rjust(12)
+                                     for p in POLICIES])
+            paper = PAPER[trace_set][machine]
+            rows.append([f"  (paper)"] + [f"{v}%".rjust(12) for v in paper])
+        print_table(f"Fig. 10 — % energy saving ({trace_set} traces)",
+                    ["machine"] + list(POLICIES), rows)
+
+    for trace_set, per_machine in data.items():
+        for machine, row in per_machine.items():
+            # Ordering: ZombieStack > Oasis >= Neat, all positive.
+            assert row["ZombieStack"] > row["Oasis"] >= row["Neat"] > 0
+            # Magnitudes in the paper's neighbourhood.
+            assert 15 < row["Neat"] < 60
+            assert 35 < row["ZombieStack"] < 75
+
+    # The relative ZombieStack advantage widens on the modified traces
+    # (paper: ~50 % better than Neat originally, ~86 % better modified).
+    for machine in ("HP", "Dell"):
+        orig = data["original"][machine]
+        mod = data["modified"][machine]
+        rel_orig = orig["ZombieStack"] / orig["Neat"]
+        rel_mod = mod["ZombieStack"] / mod["Neat"]
+        print(f"{machine}: ZombieStack/Neat original {rel_orig:.2f}x, "
+              f"modified {rel_mod:.2f}x (paper: 1.5x -> 1.86x)")
+        assert rel_mod > rel_orig
+        assert rel_mod > 1.5

@@ -1,0 +1,72 @@
+"""Sensitivity analysis around Fig. 10 (not in the paper).
+
+How do the energy savings respond to the two trace parameters the paper's
+conclusion hinges on — the memory:CPU demand ratio and the overall load?
+Expected: ZombieStack's advantage over Neat *grows* with the memory ratio
+(Neat becomes memory-bound, ZombieStack does not) and every policy's
+absolute saving shrinks as the DC gets busier (less slack to harvest).
+"""
+
+from conftest import print_table
+
+from repro.dc.energy_sim import energy_saving_comparison
+from repro.energy.profiles import HP_PROFILE
+from repro.traces.google import generate_trace
+from repro.traces.schema import TraceConfig
+
+N_SERVERS = 400
+DAYS = 3.0
+
+
+def _savings(mem_to_cpu=1.5, cpu_load=0.30):
+    config = TraceConfig(n_servers=N_SERVERS, duration_days=DAYS,
+                         cpu_load=cpu_load, mem_to_cpu=mem_to_cpu, seed=42)
+    tasks = generate_trace(config)
+    return energy_saving_comparison(tasks, N_SERVERS, (HP_PROFILE,))["HP"]
+
+
+def test_sensitivity_memory_ratio(benchmark):
+    ratios = (1.0, 1.5, 2.0, 2.5)
+    results = benchmark.pedantic(
+        lambda: {r: _savings(mem_to_cpu=r) for r in ratios},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for ratio in ratios:
+        row = results[ratio]
+        rows.append([f"{ratio:.1f}",
+                     f"{row['Neat']:.1f}%".rjust(12),
+                     f"{row['ZombieStack']:.1f}%".rjust(12),
+                     f"{row['ZombieStack'] / row['Neat']:.2f}x".rjust(12)])
+    print_table("Sensitivity — memory:CPU booking ratio",
+                ["ratio", "Neat", "ZombieStack", "ZS/Neat"], rows)
+
+    advantages = [results[r]["ZombieStack"] / results[r]["Neat"]
+                  for r in ratios]
+    # The zombie advantage grows monotonically with memory pressure.
+    assert all(a < b for a, b in zip(advantages, advantages[1:]))
+    # Neat degrades with memory pressure; ZombieStack barely moves.
+    assert results[2.5]["Neat"] < results[1.0]["Neat"]
+    zs = [results[r]["ZombieStack"] for r in ratios]
+    assert max(zs) - min(zs) < 10.0
+
+
+def test_sensitivity_cpu_load(benchmark):
+    loads = (0.15, 0.30, 0.45, 0.60)
+    results = benchmark.pedantic(
+        lambda: {l: _savings(cpu_load=l) for l in loads},
+        rounds=1, iterations=1,
+    )
+    rows = [[f"{l * 100:.0f}%",
+             f"{results[l]['Neat']:.1f}%".rjust(12),
+             f"{results[l]['ZombieStack']:.1f}%".rjust(12)] for l in loads]
+    print_table("Sensitivity — datacenter CPU load",
+                ["load", "Neat", "ZombieStack"], rows)
+
+    for policy in ("Neat", "ZombieStack"):
+        series = [results[l][policy] for l in loads]
+        # A busier DC leaves less slack: savings fall with load.
+        assert all(a >= b - 1.0 for a, b in zip(series, series[1:])), policy
+    # ZombieStack stays on top across the whole range.
+    assert all(results[l]["ZombieStack"] > results[l]["Neat"]
+               for l in loads)

@@ -1,0 +1,34 @@
+"""Figure 1: energy consumption vs. server utilization.
+
+The solid curve (actual server power) starts near 50 % of max at idle; the
+dashed energy-proportional ideal is the diagonal.  The figure also marks
+the S3/S4/S5 levels near zero.
+"""
+
+from conftest import print_table
+
+from repro.acpi.states import SleepState
+from repro.energy.model import energy_proportionality_curve, server_power_fraction
+from repro.energy.profiles import HP_PROFILE
+
+
+def test_fig1_energy_vs_utilization(benchmark):
+    series = benchmark.pedantic(
+        lambda: energy_proportionality_curve(points=11),
+        rounds=1, iterations=1,
+    )
+    rows = [(f"{u:.0f}%", actual, ideal) for u, actual, ideal in series]
+    print_table("Fig. 1 — energy vs utilization (% of max)",
+                ["util", "actual", "ideal"], rows)
+    sleep_marks = {
+        state.value: server_power_fraction(HP_PROFILE, state) * 100
+        for state in (SleepState.S3, SleepState.S4, SleepState.S5)
+    }
+    print(f"sleep-state marks (HP): {sleep_marks}")
+
+    # Shape: idle point ~50 %, actual >= ideal everywhere, both reach 100 %.
+    assert series[0][1] >= 45.0
+    assert all(actual >= ideal for _, actual, ideal in series)
+    assert series[-1][1] == 100.0
+    # The S-states sit near the bottom of the figure.
+    assert all(mark < 15.0 for mark in sleep_marks.values())

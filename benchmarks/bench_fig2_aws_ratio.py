@@ -1,0 +1,25 @@
+"""Figure 2: AWS m-family memory(GiB):CPU(GHz) ratio, 2006-2016.
+
+Demand-side motivation: memory demand grew about 2x faster than CPU demand
+over the decade.
+"""
+
+from conftest import print_table
+
+from repro.analysis.figures import aws_memory_cpu_ratio
+
+
+def test_fig2_aws_memory_cpu_ratio(benchmark):
+    series = benchmark.pedantic(aws_memory_cpu_ratio, rounds=1, iterations=1)
+    print_table("Fig. 2 — AWS m<n>.<size> memory:CPU ratio",
+                ["year", "ratio"],
+                [(str(year), ratio) for year, ratio in series])
+
+    years = [y for y, _ in series]
+    assert min(years) == 2006 and max(years) == 2016
+    early = [r for y, r in series if y <= 2008]
+    late = [r for y, r in series if y >= 2014]
+    early_mean = sum(early) / len(early)
+    late_mean = sum(late) / len(late)
+    # The paper's observation: roughly 2x growth of the ratio.
+    assert late_mean >= 1.5 * early_mean

@@ -1,0 +1,25 @@
+"""Figure 3: normalized server memory:CPU capacity ratio, 2005-2013.
+
+Supply-side motivation: memory capacity per core drops ~30 % every two
+years as core counts outgrow DIMM density.
+"""
+
+from conftest import print_table
+
+from repro.analysis.figures import server_capacity_ratio
+
+
+def test_fig3_server_capacity_ratio(benchmark):
+    series = benchmark.pedantic(
+        lambda: server_capacity_ratio(2005, 2013), rounds=1, iterations=1
+    )
+    print_table("Fig. 3 — normalized memory:CPU capacity ratio",
+                ["year", "ratio"],
+                [(str(year), ratio) for year, ratio in series])
+
+    values = dict(series)
+    assert values[2005] == 1.0
+    for year in range(2005, 2012):
+        # -30 % every two years.
+        assert abs(values[year + 2] / values[year] - 0.7) < 0.001
+    assert values[2013] < 0.3

@@ -1,0 +1,30 @@
+"""Figure 4: rack-level energy of the four architectures.
+
+Paper's rough approximations for a three-server rack: server-centric
+2.1 x Emax, ideal disaggregation 1.15 x, micro-servers 1.8 x, zombie 1.2 x.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.energy.model import rack_scenarios
+
+
+def test_fig4_rack_architecture_energy(benchmark):
+    scenarios = benchmark.pedantic(rack_scenarios, rounds=1, iterations=1)
+    rows = []
+    for scenario in scenarios:
+        rows.append((scenario.name[:24].ljust(24),
+                     f"{scenario.total_energy:.3f} Emax".rjust(12)))
+    print_table("Fig. 4 — rack energy by architecture",
+                ["architecture".ljust(24), "energy"], rows)
+
+    totals = {s.name: s.total_energy for s in scenarios}
+    assert totals["server-centric"] == pytest.approx(2.1, abs=0.1)
+    assert totals["resource disaggregation (ideal)"] == pytest.approx(1.15, abs=0.1)
+    assert totals["micro-servers"] == pytest.approx(1.8, abs=0.1)
+    assert totals["zombie (this paper)"] == pytest.approx(1.2, abs=0.1)
+    # Zombie lands close to the ideal, far from server-centric.
+    assert (totals["zombie (this paper)"] - totals["resource disaggregation (ideal)"]
+            < 0.25 * (totals["server-centric"]
+                      - totals["resource disaggregation (ideal)"]))

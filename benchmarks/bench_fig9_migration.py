@@ -1,0 +1,45 @@
+"""Figure 9: live-migration time vs. working-set size.
+
+Native pre-copy transfers the whole VM over a fixed number of rounds, so
+its duration barely moves with the WSS.  ZombieStack stops the VM and
+copies only the local (hot) half of the WSS — remote memory just changes
+ownership — so it grows with WSS and stays below native, with the biggest
+win at small working sets.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import migration_comparison
+
+RATIOS = (0.2, 0.4, 0.6, 0.8)
+
+
+def test_fig9_migration_time(benchmark):
+    rows = benchmark.pedantic(
+        lambda: migration_comparison(wss_ratios=RATIOS),
+        rounds=1, iterations=1,
+    )
+    print_table(
+        "Fig. 9 — migration time (s), 8 GiB VM",
+        ["WSS ratio", "native", "ZombieStack"],
+        [[f"{r['wss_ratio'] * 100:.0f}%",
+          f"{r['native_s']:.2f}".rjust(12),
+          f"{r['zombiestack_s']:.2f}".rjust(12)] for r in rows],
+    )
+
+    natives = [r["native_s"] for r in rows]
+    zombies = [r["zombiestack_s"] for r in rows]
+
+    # ZombieStack wins at every WSS, most at the smallest.
+    for native, zombie in zip(natives, zombies):
+        assert zombie < native
+    win = [n / z for n, z in zip(natives, zombies)]
+    assert win[0] == max(win)
+
+    # Native is almost flat; ZombieStack grows with the WSS.
+    assert max(natives) < 1.3 * min(natives)
+    assert zombies == sorted(zombies)
+    assert zombies[-1] > 2 * zombies[0]
+
+    # Remote pages never move.
+    assert all(r["zombiestack_pages"] < r["native_pages"] for r in rows)

@@ -1,0 +1,129 @@
+"""Micro-operation benchmarks: the primitive costs under every experiment.
+
+Unlike the table/figure benches (one-shot experiment reproductions), these
+use pytest-benchmark's statistics properly: many rounds of the hot
+primitives — one-sided verbs, RPC round trips, the fault path, victim
+selection, controller allocation — so regressions in the simulator's own
+performance are visible.
+"""
+
+import pytest
+
+from repro.core.rack import Rack
+from repro.hypervisor.vm import VmSpec
+from repro.memory.frames import Frame, FrameAllocator
+from repro.memory.page_table import PageTable
+from repro.memory.replacement import make_policy
+from repro.rdma.fabric import Fabric
+from repro.units import MiB, PAGE_SIZE
+
+
+@pytest.fixture(scope="module")
+def verb_env():
+    fabric = Fabric()
+    a = fabric.add_node("a")
+    b = fabric.add_node("b")
+    mr = b.register_mr(64 * MiB)
+    qp = a.connect_qp("b")
+    payload = bytes(range(256)) * 16  # 4 KiB, non-zero
+    return a, mr, qp, payload
+
+
+def test_one_sided_write_4k(benchmark, verb_env):
+    a, mr, qp, payload = verb_env
+    benchmark(a.rdma_write, qp, mr.rkey, 0, payload)
+
+
+def test_one_sided_read_4k(benchmark, verb_env):
+    a, mr, qp, payload = verb_env
+    a.rdma_write(qp, mr.rkey, 0, payload)
+    result = benchmark(a.rdma_read, qp, mr.rkey, 0, PAGE_SIZE)
+    assert result[:16] == payload[:16]
+
+
+def test_rpc_round_trip(benchmark):
+    from repro.rdma.rpc import RpcClient, RpcServer
+    fabric = Fabric()
+    server = RpcServer(fabric.add_node("srv"))
+    server.register("echo", lambda x: x)
+    client = RpcClient(fabric.add_node("cli"), server)
+    assert benchmark(client.call, "echo", 42) == 42
+
+
+@pytest.fixture(scope="module")
+def fault_env():
+    rack = Rack(["user", "zombie"], memory_bytes=256 * MiB,
+                buff_size=8 * MiB)
+    rack.make_zombie("zombie")
+    vm = rack.create_vm("user", VmSpec("vm", 64 * MiB), local_fraction=0.5)
+    hv = rack.server("user").hypervisor
+    for ppn in range(vm.spec.total_pages):
+        hv.access(vm, ppn)
+    return hv, vm
+
+
+def test_resident_access_fast_path(benchmark, fault_env):
+    hv, vm = fault_env
+    resident = next(e.ppn for e in vm.table.resident())
+    benchmark(hv.access, vm, resident)
+
+
+def test_fault_path_with_eviction(benchmark, fault_env):
+    """The full miss path: policy + demotion write + remote fill read."""
+    hv, vm = fault_env
+    pages = vm.spec.total_pages
+
+    def one_fault(state=[0]):
+        # Walk pseudo-physical pages; roughly half are remote at any time.
+        for _ in range(pages):
+            state[0] = (state[0] + 1) % pages
+            entry = vm.table.entry(state[0])
+            if not entry.present:
+                return hv.access(vm, state[0])
+        return 0.0
+
+    cost = benchmark(one_fault)
+    assert cost > 0
+
+
+@pytest.mark.parametrize("policy_name", ["FIFO", "Clock", "Mixed"])
+def test_victim_selection(benchmark, policy_name):
+    policy = make_policy(policy_name)
+    table = PageTable(4096)
+    for ppn in range(2048):
+        table.map_local(ppn, Frame(ppn))
+        policy.note_resident(ppn)
+    table.clear_accessed_bits()
+    table.clear_accessed_bits()
+
+    def select_and_replace(state=[2048]):
+        victim = policy.select_victim(table)
+        table.demote(victim, remote_slot=victim)
+        table.map_local(victim, Frame(victim))
+        policy.note_resident(victim)
+        return victim
+
+    benchmark(select_and_replace)
+
+
+def test_controller_alloc_release(benchmark):
+    rack = Rack(["user", "zombie"], memory_bytes=256 * MiB,
+                buff_size=8 * MiB)
+    rack.make_zombie("zombie")
+    manager = rack.server("user").manager
+
+    def alloc_release():
+        store = manager.request_ext(16 * MiB)
+        manager.release_store(store)
+
+    benchmark(alloc_release)
+
+
+def test_frame_allocator_churn(benchmark):
+    allocator = FrameAllocator(65536)
+
+    def churn():
+        frames = allocator.alloc_many(1024)
+        allocator.free_many(frames)
+
+    benchmark(churn)

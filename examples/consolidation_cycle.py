@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A ZombieStack consolidation cycle, step by step.
+
+Builds a small cluster model, shows vanilla Neat failing to consolidate a
+memory-heavy VM, then the zombie-aware variant succeeding: the relaxed
+30 %-of-WSS placement rule, Sz suspension, and the remote pool the zombies
+contribute.
+
+Run:  python examples/consolidation_cycle.py
+"""
+
+from repro.cloud import (ClusterModel, NeatConsolidator, NovaScheduler,
+                         VmInstance)
+from repro.cloud.model import HostPowerState
+
+
+def build_cluster() -> ClusterModel:
+    cluster = ClusterModel([f"host-{i}" for i in range(5)])
+    layout = [
+        ("host-0", "web", 0.45, 0.30, 0.45, 0.25),
+        ("host-1", "cache", 0.10, 0.55, 0.06, 0.50),   # memory-heavy, idle-ish
+        ("host-2", "batch", 0.12, 0.20, 0.08, 0.15),
+        ("host-3", "logger", 0.05, 0.15, 0.03, 0.10),
+    ]
+    for host, name, cpu, mem, cpu_u, mem_u in layout:
+        cluster.host(host).add_vm(VmInstance(
+            name, cpu_request=cpu, mem_request=mem,
+            cpu_usage=cpu_u, mem_usage=mem_u,
+        ))
+    return cluster
+
+
+def show(cluster: ClusterModel, title: str) -> None:
+    print(f"\n{title}")
+    for name in sorted(cluster.hosts):
+        host = cluster.hosts[name]
+        vms = ", ".join(sorted(host.vms)) or "-"
+        print(f"  {name}: {host.state.value:<3} cpu={host.cpu_booked:.2f} "
+              f"mem={host.mem_booked_local:.2f} vms=[{vms}]")
+    print(f"  remote pool free: {cluster.remote_pool_free:.2f} servers of RAM")
+
+
+def main() -> None:
+    print("=== vanilla OpenStack Neat (full-booking placement) ===")
+    cluster = build_cluster()
+    show(cluster, "before:")
+    report = NeatConsolidator(cluster, zombie_aware=False).run_cycle()
+    show(cluster, "after one cycle:")
+    print(f"  migrations={report.migrations} "
+          f"suspended={report.suspended_hosts} "
+          f"failed={report.failed_migrations}")
+
+    print("\n=== ZombieStack Neat (30% WSS local, Sz suspension) ===")
+    cluster = build_cluster()
+    report = NeatConsolidator(cluster, zombie_aware=True).run_cycle()
+    show(cluster, "after one cycle:")
+    print(f"  migrations={report.migrations} "
+          f"suspended={report.suspended_hosts} "
+          f"failed={report.failed_migrations}")
+    zombies = [h.name for h in cluster.zombie_hosts()]
+    print(f"  zombies serving memory: {zombies}")
+
+    print("\nPlacing a memory-monster VM (0.8 of a server's RAM):")
+    nova = NovaScheduler(cluster, local_threshold=0.5)
+    monster = VmInstance("monster", cpu_request=0.2, mem_request=0.8,
+                         cpu_usage=0.1, mem_usage=0.6)
+    host = nova.place(monster)
+    print(f"  placed on {host.name}: local fraction "
+          f"{monster.local_mem_fraction:.0%}, remote part "
+          f"{monster.remote_mem:.2f} served by the zombie pool")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: a zombie server serving memory to a neighbour's VM.
+
+Builds a three-server rack, pushes one server into the Sz (zombie) state —
+its CPU dies, its memory joins the rack pool — then starts a VM on another
+server with only half of its reserved memory local.  The VM transparently
+pages its cold half to the zombie over one-sided RDMA.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MiB, Rack, VmSpec
+from repro.units import fmt_size, fmt_time
+
+
+def main() -> None:
+    print("Building a rack of three 512 MiB servers...")
+    rack = Rack(["user", "active", "spare"], memory_bytes=512 * MiB,
+                buff_size=16 * MiB)
+    print(f"  rack power: {rack.total_power_watts():.1f} W")
+
+    print("\nSuspending 'spare' into the zombie (Sz) state...")
+    rack.make_zombie("spare")
+    spare = rack.server("spare")
+    print(f"  state: {spare.state}  (CPU dead, memory alive)")
+    print(f"  memory lent to the rack: {fmt_size(spare.manager.lent_bytes)}")
+    print(f"  rack power now: {rack.total_power_watts():.1f} W")
+
+    print("\nStarting a 128 MiB VM on 'user' with 50% local memory...")
+    vm = rack.create_vm("user", VmSpec("demo-vm", 128 * MiB),
+                        local_fraction=0.5)
+    store = rack.server("user").hypervisor.store_for("demo-vm")
+    hosts = {lease.host for lease in store.leases()}
+    print(f"  remote memory served by: {sorted(hosts)}")
+
+    print("\nTouching every page twice (forces paging to the zombie)...")
+    hypervisor = rack.server("user").hypervisor
+    elapsed = 0.0
+    for _ in range(2):
+        for ppn in range(vm.spec.total_pages):
+            elapsed += hypervisor.access(vm, ppn)
+    stats = hypervisor.stats("demo-vm")
+    print(f"  simulated time: {fmt_time(elapsed)}")
+    print(f"  page faults:    {stats.page_faults}")
+    print(f"  demotions:      {stats.evictions}")
+    print(f"  remote fills:   {stats.remote_fills}")
+    print(f"  RDMA ops on the fabric: "
+          f"{rack.fabric.stats.reads} reads, {rack.fabric.stats.writes} writes")
+
+    print("\nWaking the zombie (it reclaims its memory)...")
+    latency = rack.wake("spare", reclaim_bytes=512 * MiB)
+    print(f"  wake latency: {latency:.1f} s (same as S3)")
+    print(f"  the VM's pages were re-homed; it keeps running.")
+    rack.destroy_vm("user", "demo-vm")
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

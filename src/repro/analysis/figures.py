@@ -1,0 +1,62 @@
+"""Motivation-figure data series (Figs. 1-3).
+
+Figure 2 plots the memory(GiB):CPU(GHz) ratio of AWS ``m<n>.<size>``
+instances over 2006-2016; Figure 3 the normalized memory:CPU *capacity*
+ratio of server generations 2005-2013.  Neither is a measurement of our
+system — they are catalog/roadmap data — so this module carries compact
+models of the published trends: instance generations with their actual
+memory-per-vCPU shape, and the ITRS-style supply curve (memory capacity
+per core dropping ~30 % every two years).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: AWS m-family datapoints: (year, instance family, memory GiB per
+#: instance, CPU GHz-equivalents per instance).  A stylized reconstruction
+#: of the paper's Fig. 2 scatter (m1 2006 through m4 2016): the
+#: memory:CPU ratio roughly doubles-to-quadruples across the decade.
+_AWS_M_FAMILY = [
+    (2006, "m1.small", 1.7, 1.9),
+    (2007, "m1.large", 7.5, 7.5),
+    (2008, "m1.xlarge", 15.0, 13.6),
+    (2010, "m2.xlarge", 17.1, 11.4),
+    (2011, "m2.2xlarge", 34.2, 19.0),
+    (2012, "m2.4xlarge", 68.4, 34.2),
+    (2012, "m3.xlarge", 15.0, 9.4),
+    (2013, "m3.2xlarge", 30.0, 13.6),
+    (2014, "m3.medium", 3.75, 1.6),
+    (2015, "m4.large", 8.0, 3.1),
+    (2015, "m4.xlarge", 16.0, 5.7),
+    (2016, "m4.16xlarge", 256.0, 70.0),
+]
+
+
+def aws_memory_cpu_ratio() -> List[Tuple[int, float]]:
+    """Fig. 2 series: (year, memory:CPU ratio) per introduced m-instance.
+
+    The demand-side trend: the ratio roughly doubles across the decade
+    (~1 in 2006-2008 to ~2.5-3.7 by 2015-2016).
+    """
+    return [(year, round(mem / cpu, 3))
+            for year, _name, mem, cpu in _AWS_M_FAMILY]
+
+
+def server_capacity_ratio(start_year: int = 2005,
+                          end_year: int = 2013) -> List[Tuple[int, float]]:
+    """Fig. 3 series: normalized memory:CPU capacity per server generation.
+
+    The supply-side trend (Lim et al. [7,12]): cores per socket double
+    every two years while DIMM capacity growth slows, so memory per core
+    drops ~30 % every two years.  Normalized to 1.0 at ``start_year``.
+    """
+    if end_year < start_year:
+        raise ValueError("end_year before start_year")
+    series = []
+    ratio = 1.0
+    for year in range(start_year, end_year + 1):
+        series.append((year, round(ratio, 4)))
+        # -30 % every two years => multiply by sqrt(0.7) annually.
+        ratio *= 0.7 ** 0.5
+    return series

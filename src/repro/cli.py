@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+- ``demo``        — the quickstart rack walkthrough
+- ``experiment``  — run one paper experiment and print its table/series
+- ``trace``       — generate a synthetic Google-format trace CSV
+- ``energy``      — the Fig. 10 datacenter energy comparison
+- ``report``      — write the full generated experiment report
+- ``ycsb``        — sweep a YCSB workload over local-memory ratios
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.units import MiB
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.rack import Rack
+    from repro.hypervisor.vm import VmSpec
+
+    rack = Rack(["user", "spare"], memory_bytes=args.memory_mib * MiB,
+                buff_size=8 * MiB)
+    rack.make_zombie("spare")
+    print(f"spare -> {rack.server('spare').state} "
+          f"(lent {rack.server('spare').manager.lent_bytes // MiB} MiB)")
+    vm = rack.create_vm("user", VmSpec("vm", args.vm_mib * MiB),
+                        local_fraction=0.5)
+    hv = rack.server("user").hypervisor
+    for ppn in range(vm.spec.total_pages):
+        hv.access(vm, ppn)
+    stats = hv.stats("vm")
+    print(f"vm: {stats.page_faults} faults, {stats.evictions} demotions, "
+          f"{stats.time_total_s * 1e3:.1f} ms simulated")
+    print(f"fabric: {rack.fabric.stats.writes} RDMA writes, "
+          f"{rack.fabric.stats.reads} reads")
+    return 0
+
+
+_EXPERIMENTS = ("fig1", "fig2", "fig3", "fig4", "fig8", "fig9", "fig10",
+                "table1", "table2", "table3")
+
+
+def _print_cells(row):
+    return " ".join(
+        ("inf" if isinstance(v, float) and math.isinf(v)
+         else f"{v:.4g}" if isinstance(v, float) else str(v)).rjust(10)
+        for v in row
+    )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis import experiments, figures
+    from repro.energy.model import energy_proportionality_curve, rack_scenarios
+
+    name = args.name
+    if name == "fig1":
+        for u, actual, ideal in energy_proportionality_curve(points=11):
+            print(_print_cells((u, actual, ideal)))
+    elif name == "fig2":
+        for year, ratio in figures.aws_memory_cpu_ratio():
+            print(_print_cells((year, ratio)))
+    elif name == "fig3":
+        for year, ratio in figures.server_capacity_ratio():
+            print(_print_cells((year, ratio)))
+    elif name == "fig4":
+        for scenario in rack_scenarios():
+            print(f"{scenario.name:<36} {scenario.total_energy:.3f} Emax")
+    elif name == "fig8":
+        data = experiments.replacement_policy_comparison()
+        for metric in ("exec_s", "faults", "cycles_per_fault"):
+            print(f"# {metric}")
+            for policy, rows in data.items():
+                print(policy.ljust(6),
+                      _print_cells([rows[f][metric] for f in sorted(rows)]))
+    elif name == "fig9":
+        for row in experiments.migration_comparison():
+            print(_print_cells((row["wss_ratio"], row["native_s"],
+                                row["zombiestack_s"])))
+    elif name == "fig10":
+        data = experiments.dc_energy_comparison(n_servers=args.servers)
+        for trace_set, per_machine in data.items():
+            for machine, row in per_machine.items():
+                print(trace_set, machine,
+                      _print_cells([row[p] for p in sorted(row)]))
+    elif name == "table1":
+        table = experiments.ram_ext_penalty_table()
+        for workload, row in table.items():
+            print(workload.ljust(16),
+                  _print_cells([row[f] for f in sorted(row)]))
+    elif name == "table2":
+        table = experiments.swap_technology_table()
+        for workload, per_frac in table.items():
+            print(f"# {workload}")
+            for fraction in sorted(per_frac):
+                cells = per_frac[fraction]
+                print(f"{fraction * 100:4.0f}%",
+                      _print_cells([cells[c] for c in sorted(cells)]))
+    elif name == "table3":
+        table = experiments.sz_energy_table()
+        for machine, row in table.items():
+            print(machine.ljust(6),
+                  _print_cells([row[c] for c in sorted(row)]))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.traces.google import generate_trace, trace_to_csv
+    from repro.traces.schema import TraceConfig
+    from repro.traces.transform import double_memory_demand
+
+    config = TraceConfig(n_servers=args.servers, duration_days=args.days,
+                         seed=args.seed)
+    tasks = generate_trace(config)
+    if args.modified:
+        tasks = double_memory_demand(tasks)
+    trace_to_csv(tasks, args.output)
+    print(f"{len(tasks)} tasks -> {args.output}")
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import dc_energy_comparison
+
+    data = dc_energy_comparison(n_servers=args.servers,
+                                duration_days=args.days)
+    for trace_set, per_machine in data.items():
+        print(f"[{trace_set} traces]")
+        for machine, row in per_machine.items():
+            cells = "  ".join(f"{p}={v:.1f}%" for p, v in row.items())
+            print(f"  {machine:<5} {cells}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+
+    write_report(args.output, quick=not args.full)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_ycsb(args: argparse.Namespace) -> int:
+    from repro.analysis.harness import RamExtHarness
+    from repro.workloads.ycsb import YCSB_WORKLOADS
+
+    factory = YCSB_WORKLOADS[args.workload.upper()]
+    workload = factory(total_pages=args.pages)
+    baseline = RamExtHarness(args.pages, 1.0).run(workload.stream(),
+                                                  workload.compute_s)
+    print(f"{workload.name}: {baseline.accesses} ops, baseline "
+          f"{baseline.sim_time_s * 1e3:.1f} ms")
+    for fraction in (0.2, 0.4, 0.5, 0.6, 0.8):
+        harness = RamExtHarness(args.pages, fraction)
+        result = harness.run(workload.stream(), workload.compute_s)
+        penalty = result.penalty_vs(baseline) * 100
+        print(f"  {fraction * 100:3.0f}% local: penalty {penalty:8.2f}%  "
+              f"({harness.stats.page_faults} faults)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Zombieland reproduction (EuroSys 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="quickstart rack walkthrough")
+    demo.add_argument("--memory-mib", type=int, default=256)
+    demo.add_argument("--vm-mib", type=int, default=64)
+    demo.set_defaults(fn=_cmd_demo)
+
+    exp = sub.add_parser("experiment", help="run one paper experiment")
+    exp.add_argument("name", choices=_EXPERIMENTS)
+    exp.add_argument("--servers", type=int, default=500)
+    exp.set_defaults(fn=_cmd_experiment)
+
+    trace = sub.add_parser("trace", help="generate a synthetic trace CSV")
+    trace.add_argument("output")
+    trace.add_argument("--servers", type=int, default=500)
+    trace.add_argument("--days", type=float, default=7.0)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--modified", action="store_true",
+                       help="memory demand = 2 x CPU demand")
+    trace.set_defaults(fn=_cmd_trace)
+
+    energy = sub.add_parser("energy", help="Fig. 10 energy comparison")
+    energy.add_argument("--servers", type=int, default=500)
+    energy.add_argument("--days", type=float, default=7.0)
+    energy.set_defaults(fn=_cmd_energy)
+
+    report = sub.add_parser("report",
+                            help="write the full experiment report")
+    report.add_argument("output")
+    report.add_argument("--full", action="store_true",
+                        help="benchmark-scale workloads (slower)")
+    report.set_defaults(fn=_cmd_report)
+
+    ycsb = sub.add_parser("ycsb", help="sweep a YCSB workload")
+    ycsb.add_argument("workload", choices=list("ABCDEFabcdef"))
+    ycsb.add_argument("--pages", type=int, default=1024)
+    ycsb.set_defaults(fn=_cmd_ycsb)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

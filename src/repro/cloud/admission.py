@@ -1,0 +1,70 @@
+"""Rack-level admission control.
+
+``GS_alloc_ext`` is *guaranteed*, so the cloud provider must never admit
+VMs whose combined RAM-Extension reservations could exceed what the rack
+can serve — "this allocation is guaranteed by the cloud provider via
+admission control to avoid rack-level memory overcommitment."
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import AdmissionError, ConfigurationError
+
+
+class AdmissionController:
+    """Tracks guaranteed remote-memory reservations against rack capacity."""
+
+    def __init__(self, rack_memory_bytes: int,
+                 safety_fraction: float = 0.9):
+        if rack_memory_bytes <= 0:
+            raise ConfigurationError("rack memory must be positive")
+        if not 0.0 < safety_fraction <= 1.0:
+            raise ConfigurationError(
+                f"safety_fraction out of (0,1]: {safety_fraction}"
+            )
+        self.rack_memory_bytes = rack_memory_bytes
+        self.safety_fraction = safety_fraction
+        self.reservations: Dict[str, int] = {}
+
+    @property
+    def capacity_bytes(self) -> int:
+        return int(self.rack_memory_bytes * self.safety_fraction)
+
+    @property
+    def reserved_bytes(self) -> int:
+        return sum(self.reservations.values())
+
+    @property
+    def available_bytes(self) -> int:
+        return self.capacity_bytes - self.reserved_bytes
+
+    def admit(self, vm_name: str, ext_bytes: int) -> None:
+        """Reserve guaranteed remote memory for a VM, or refuse it."""
+        if ext_bytes < 0:
+            raise ConfigurationError(f"negative reservation {ext_bytes}")
+        if vm_name in self.reservations:
+            raise AdmissionError(f"VM {vm_name!r} already admitted")
+        if ext_bytes > self.available_bytes:
+            raise AdmissionError(
+                f"VM {vm_name!r}: {ext_bytes} bytes of guaranteed remote "
+                f"memory requested, {self.available_bytes} available"
+            )
+        self.reservations[vm_name] = ext_bytes
+
+    def release(self, vm_name: str) -> int:
+        """Release a VM's reservation (teardown); returns the bytes freed."""
+        if vm_name not in self.reservations:
+            raise AdmissionError(f"VM {vm_name!r} has no reservation")
+        return self.reservations.pop(vm_name)
+
+    def resize_rack(self, rack_memory_bytes: int) -> None:
+        """Rack capacity changed (servers added/removed)."""
+        if rack_memory_bytes <= 0:
+            raise ConfigurationError("rack memory must be positive")
+        if int(rack_memory_bytes * self.safety_fraction) < self.reserved_bytes:
+            raise AdmissionError(
+                "cannot shrink below existing guaranteed reservations"
+            )
+        self.rack_memory_bytes = rack_memory_bytes

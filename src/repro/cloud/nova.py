@@ -1,0 +1,90 @@
+"""Nova-style VM placement with the relaxed remote-memory RAM filter.
+
+Vanilla Nova filters hosts that hold *all* booked resources, then weighs
+them.  ZombieStack's modification (Section 5.1): a host qualifies if it can
+place at least ``local_threshold`` (empirically 50 %) of the VM's memory
+locally — the remainder comes from the rack's remote pool.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cloud.model import ClusterModel, HostModel, VmInstance
+from repro.errors import ConfigurationError, PlacementError
+
+
+class NovaScheduler:
+    """Two-phase (filter, weigh) placement."""
+
+    def __init__(self, cluster: ClusterModel,
+                 local_threshold: float = 0.5,
+                 remote_memory_aware: bool = True,
+                 stacking: bool = True):
+        if not 0.0 < local_threshold <= 1.0:
+            raise ConfigurationError(
+                f"local_threshold out of (0,1]: {local_threshold}"
+            )
+        self.cluster = cluster
+        self.local_threshold = local_threshold
+        self.remote_memory_aware = remote_memory_aware
+        #: Stacking packs VMs densely (consolidation-friendly); spreading
+        #: balances load.
+        self.stacking = stacking
+
+    # -- phase 1: filtering -------------------------------------------------
+    def filter_hosts(self, vm: VmInstance) -> List[HostModel]:
+        """Hosts able to take ``vm`` (CPU filter + [relaxed] RAM filter)."""
+        suitable = []
+        for host in self.cluster.on_hosts():
+            if vm.cpu_request > host.free_cpu + 1e-9:
+                continue
+            if self.remote_memory_aware:
+                needed_local = vm.mem_request * self.local_threshold
+                remote_part = vm.mem_request - needed_local
+                if needed_local > host.free_mem + 1e-9:
+                    continue
+                if remote_part > self.cluster.remote_pool_free + 1e-9:
+                    continue
+            else:
+                if vm.mem_request > host.free_mem + 1e-9:
+                    continue
+            suitable.append(host)
+        return suitable
+
+    # -- phase 2: weighing -----------------------------------------------
+    def weigh(self, hosts: List[HostModel]) -> List[HostModel]:
+        """Order candidates; stacking prefers the most-loaded host."""
+        return sorted(
+            hosts,
+            key=lambda h: (h.cpu_booked, h.name),
+            reverse=self.stacking,
+        )
+
+    # -- placement ---------------------------------------------------------
+    def place(self, vm: VmInstance) -> HostModel:
+        """Filter, weigh, and bind ``vm`` to the winning host.
+
+        With remote-memory awareness the VM's ``local_mem_fraction`` is
+        adjusted to what the chosen host can actually hold locally (at
+        least the threshold, at most everything).
+        """
+        candidates = self.weigh(self.filter_hosts(vm))
+        if not candidates:
+            raise PlacementError(
+                f"no suitable host for VM {vm.name!r} "
+                f"(cpu={vm.cpu_request}, mem={vm.mem_request})"
+            )
+        host = self._bind(candidates[0], vm)
+        return host
+
+    def _bind(self, host: HostModel, vm: VmInstance) -> HostModel:
+        if self.remote_memory_aware:
+            locally_placeable = min(vm.mem_request, max(host.free_mem, 0.0))
+            fraction = locally_placeable / vm.mem_request
+            vm.local_mem_fraction = max(self.local_threshold,
+                                        min(1.0, fraction))
+        else:
+            vm.local_mem_fraction = 1.0
+        host.add_vm(vm)
+        return host

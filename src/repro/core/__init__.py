@@ -1,0 +1,29 @@
+"""The paper's core contribution: rack-level memory disaggregation.
+
+- :mod:`~repro.core.protocol` — buffer descriptors and the RPC method names
+  (``GS_*`` controller-side, ``US_*``/``AS_*`` server-side);
+- :mod:`~repro.core.database` — the controller's in-memory buffer database;
+- :mod:`~repro.core.controller` — the global memory controller
+  (*global-mem-ctr*);
+- :mod:`~repro.core.secondary` — the mirrored secondary controller with
+  heartbeat-driven failover (*secondary-ctr*);
+- :mod:`~repro.core.manager` — the per-server *remote-mem-mgr* agent;
+- :mod:`~repro.core.server` — a rack server (platform + hypervisor + agent);
+- :mod:`~repro.core.rack` — assembly of a whole rack on one fabric.
+"""
+
+from repro.core.protocol import BufferDescriptor, BufferKind, Method
+from repro.core.database import BufferDatabase
+from repro.core.events import Event, EventKind, EventLog
+from repro.core.controller import GlobalMemoryController
+from repro.core.secondary import SecondaryController
+from repro.core.manager import RemoteMemoryManager
+from repro.core.server import RackServer, ServerRole
+from repro.core.rack import Rack
+
+__all__ = [
+    "BufferDescriptor", "BufferKind", "Method", "BufferDatabase",
+    "Event", "EventKind", "EventLog",
+    "GlobalMemoryController", "SecondaryController", "RemoteMemoryManager",
+    "RackServer", "ServerRole", "Rack",
+]

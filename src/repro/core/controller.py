@@ -1,0 +1,335 @@
+"""The global memory controller (*global-mem-ctr*).
+
+Manages the rack-wide pool of remote-memory buffers: zombies lend memory on
+suspend (``GS_goto_zombie``), reclaim it on wake (``GS_reclaim``), user
+servers allocate RAM-Extension memory (``GS_alloc_ext``, guaranteed by
+admission control) and best-effort swap memory (``GS_alloc_swap``).
+
+Every mutation is mirrored synchronously to the secondary controller through
+the ``mirror`` callback; the Rack wires that callback to an RPC over the
+fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.database import BufferDatabase
+from repro.core.events import EventKind, EventLog
+from repro.core.protocol import BufferDescriptor, BufferKind, Method
+from repro.errors import AllocationError, ControllerError
+from repro.rdma.fabric import RdmaNode
+from repro.rdma.rpc import RpcClient, RpcServer
+from repro.units import DEFAULT_BUFF_SIZE, buffers_for
+
+MirrorFn = Callable[[str, tuple], None]
+
+
+class GlobalMemoryController:
+    """The rack's memory authority, served over RPC-over-RDMA."""
+
+    def __init__(self, node: RdmaNode, buff_size: int = DEFAULT_BUFF_SIZE,
+                 stripe: bool = True):
+        self.node = node
+        self.buff_size = buff_size
+        #: Round-robin allocations across serving hosts (the paper's
+        #: failure-impact minimization).  False = fill one host at a time.
+        self.stripe = stripe
+        self.db = BufferDatabase()
+        self.zombie_hosts: Set[str] = set()
+        self.known_hosts: Set[str] = set()
+        #: buffer_id → "ext" | "swap"; swap allocations are revocable.
+        self.allocation_purpose: Dict[int, str] = {}
+        self.mirror: Optional[MirrorFn] = None
+        self.agent_clients: Dict[str, RpcClient] = {}
+        self.rpc = RpcServer(node)
+        self.events = EventLog()
+        self._register_handlers()
+        self.heartbeats_sent = 0
+
+    # -- wiring ----------------------------------------------------------
+    def _register_handlers(self) -> None:
+        self.rpc.register(Method.GS_GOTO_ZOMBIE.value, self.gs_goto_zombie)
+        self.rpc.register(Method.GS_RECLAIM.value, self.gs_reclaim)
+        self.rpc.register(Method.GS_ALLOC_EXT.value, self.gs_alloc_ext)
+        self.rpc.register(Method.GS_ALLOC_SWAP.value, self.gs_alloc_swap)
+        self.rpc.register(Method.GS_GET_LRU_ZOMBIE.value, self.gs_get_lru_zombie)
+        self.rpc.register(Method.GS_RELEASE.value, self.gs_release)
+        self.rpc.register(Method.GS_TRANSFER.value, self.gs_transfer)
+        self.rpc.register(Method.GS_WAKE.value, self.gs_wake)
+        self.rpc.register(Method.HEARTBEAT.value, self.heartbeat)
+
+    def attach_agent(self, host: str, client: RpcClient) -> None:
+        """Register the RPC path to ``host``'s remote-mem-mgr."""
+        self.agent_clients[host] = client
+        self.known_hosts.add(host)
+
+    def _emit(self, op: str, args: tuple) -> None:
+        if self.mirror is not None:
+            self.mirror(op, args)
+
+    def _flush_journal(self, start: int) -> None:
+        """Mirror every database mutation journaled since ``start``."""
+        for op, args in self.db.journal[start:]:
+            self._emit(op, args)
+
+    # -- RPC handlers -----------------------------------------------------
+    def heartbeat(self) -> str:
+        self.heartbeats_sent += 1
+        return "alive"
+
+    def gs_goto_zombie(self, host: str,
+                       buffers: List[BufferDescriptor]) -> int:
+        """A server announces Sz entry and lends ``buffers``.
+
+        Buffers the host already lent while active are re-labelled zombie.
+        Returns the number of buffers now lent by the host.
+        """
+        mark = len(self.db.journal)
+        self.known_hosts.add(host)
+        self.zombie_hosts.add(host)
+        self._emit("zombie_add", (host,))
+        for descriptor in buffers:
+            if descriptor.host != host:
+                raise ControllerError(
+                    f"{host} lends buffer {descriptor.buffer_id} it does "
+                    f"not serve (host={descriptor.host})"
+                )
+            self.db.add(descriptor.with_kind(BufferKind.ZOMBIE))
+        for existing in self.db.by_host(host):
+            if existing.kind is not BufferKind.ZOMBIE:
+                self.db.set_kind(existing.buffer_id, BufferKind.ZOMBIE)
+        self._flush_journal(mark)
+        self.events.emit(EventKind.ZOMBIE_ENTER, host,
+                         buffers=len(self.db.by_host(host)))
+        return len(self.db.by_host(host))
+
+    def gs_wake(self, host: str) -> None:
+        """A zombie resumed to S0; its remaining buffers become active-kind."""
+        mark = len(self.db.journal)
+        self.zombie_hosts.discard(host)
+        self._emit("zombie_remove", (host,))
+        for descriptor in self.db.by_host(host):
+            if descriptor.kind is not BufferKind.ACTIVE:
+                self.db.set_kind(descriptor.buffer_id, BufferKind.ACTIVE)
+        self._flush_journal(mark)
+        self.events.emit(EventKind.ZOMBIE_EXIT, host)
+
+    def gs_reclaim(self, host: str, nb_buffers: int) -> List[int]:
+        """A (waking) server takes ``nb_buffers`` of its memory back.
+
+        Unallocated buffers go first; then buffers allocated to other
+        servers are revoked via ``US_reclaim``.  Returns the buffer ids the
+        host may now free.
+        """
+        mark = len(self.db.journal)
+        own = self.db.by_host(host)
+        own.sort(key=lambda b: (b.allocated, b.buffer_id))
+        if nb_buffers > len(own):
+            raise ControllerError(
+                f"{host} reclaims {nb_buffers} buffers but lends only "
+                f"{len(own)}"
+            )
+        chosen = own[:nb_buffers]
+        self._revoke([b for b in chosen if b.allocated])
+        reclaimed = []
+        for descriptor in chosen:
+            self.db.remove(descriptor.buffer_id)
+            self.allocation_purpose.pop(descriptor.buffer_id, None)
+            reclaimed.append(descriptor.buffer_id)
+        self._flush_journal(mark)
+        self.events.emit(EventKind.BUFFERS_RECLAIMED, host,
+                         count=len(reclaimed))
+        return reclaimed
+
+    def gs_alloc_ext(self, user: str, mem_size: int) -> List[BufferDescriptor]:
+        """Guaranteed RAM-Extension allocation of ``mem_size`` bytes.
+
+        Called once at VM creation; admission control must have ensured the
+        rack can honour it.  Allocation priority: free zombie buffers, free
+        active buffers, new buffers carved from active servers
+        (``AS_get_free_mem``), and finally buffers revoked from other
+        users' best-effort swap (``US_reclaim``).
+        """
+        nb = buffers_for(mem_size, self.buff_size)
+        granted = self._allocate(user, nb, purpose="ext", best_effort=False)
+        self.events.emit(EventKind.ALLOC_EXT, user, buffers=len(granted),
+                         bytes=mem_size)
+        return granted
+
+    def gs_alloc_swap(self, user: str, mem_size: int) -> List[BufferDescriptor]:
+        """Best-effort swap allocation: may return fewer buffers than asked."""
+        nb = buffers_for(mem_size, self.buff_size)
+        granted = self._allocate(user, nb, purpose="swap", best_effort=True)
+        self.events.emit(EventKind.ALLOC_SWAP, user, buffers=len(granted))
+        return granted
+
+    def gs_get_lru_zombie(self) -> Optional[str]:
+        """The zombie host with the fewest allocated buffers.
+
+        Neat uses this to wake the zombie whose memory is least entangled,
+        minimising reclaim traffic.
+        """
+        if not self.zombie_hosts:
+            return None
+        counts = self.db.allocated_count_by_host()
+        return min(sorted(self.zombie_hosts),
+                   key=lambda host: counts.get(host, 0))
+
+    def gs_release(self, user: str, buffer_ids: List[int]) -> None:
+        """A user returns buffers it no longer needs."""
+        mark = len(self.db.journal)
+        for buffer_id in buffer_ids:
+            descriptor = self.db.get(buffer_id)
+            if descriptor.user != user:
+                raise ControllerError(
+                    f"{user} releases buffer {buffer_id} owned by "
+                    f"{descriptor.user!r}"
+                )
+            self.db.unassign(buffer_id)
+            self.allocation_purpose.pop(buffer_id, None)
+        self._flush_journal(mark)
+        self.events.emit(EventKind.BUFFERS_RELEASED, user,
+                         count=len(buffer_ids))
+
+    def gs_transfer(self, old_user: str, new_user: str,
+                    buffer_ids: List[int]) -> None:
+        """Migration support: re-point buffer ownership to the target host.
+
+        "We just need to update the ownership pointers for the remote
+        memory components" (Section 5.3) — the buffers and their content
+        never move.
+        """
+        mark = len(self.db.journal)
+        for buffer_id in buffer_ids:
+            descriptor = self.db.get(buffer_id)
+            if descriptor.user != old_user:
+                raise ControllerError(
+                    f"transfer of buffer {buffer_id}: owned by "
+                    f"{descriptor.user!r}, not {old_user!r}"
+                )
+            purpose = self.allocation_purpose.get(buffer_id, "ext")
+            self.db.unassign(buffer_id)
+            self.db.assign(buffer_id, new_user)
+            self.allocation_purpose[buffer_id] = purpose
+        self._flush_journal(mark)
+        self.events.emit(EventKind.BUFFERS_TRANSFERRED, new_user,
+                         from_host=old_user, count=len(buffer_ids))
+
+    # -- allocation engine ------------------------------------------------
+    def _allocate(self, user: str, nb: int, purpose: str,
+                  best_effort: bool) -> List[BufferDescriptor]:
+        mark = len(self.db.journal)
+        chosen = self._pick_free(user, nb)
+        if len(chosen) < nb:
+            self._grow_pool_from_active(user)
+            chosen = self._pick_free(user, nb)
+        if len(chosen) < nb and not best_effort:
+            chosen += self._revoke_swap_from_users(user, nb - len(chosen))
+        if len(chosen) < nb and not best_effort:
+            self._flush_journal(mark)
+            raise AllocationError(
+                f"cannot satisfy guaranteed allocation of {nb} buffers for "
+                f"{user} ({len(chosen)} available); admission control "
+                "should have prevented this request"
+            )
+        granted = []
+        for descriptor in chosen[:nb]:
+            granted.append(self.db.assign(descriptor.buffer_id, user))
+            self.allocation_purpose[descriptor.buffer_id] = purpose
+        self._flush_journal(mark)
+        return granted
+
+    def _pick_free(self, user: str, nb: int) -> List[BufferDescriptor]:
+        """Free buffers, zombie-first, striped round-robin across hosts.
+
+        Striping "minimizes the performance impact caused by a remote
+        server failure".  Buffers served by the requesting host itself are
+        excluded (its local memory is not remote memory).
+        """
+        free = [b for b in self.db.free_buffers(zombie_first=True)
+                if b.host != user]
+        tiers: Dict[bool, Dict[str, List[BufferDescriptor]]] = {}
+        for descriptor in free:
+            is_zombie = descriptor.kind is BufferKind.ZOMBIE
+            tiers.setdefault(is_zombie, {}).setdefault(
+                descriptor.host, []
+            ).append(descriptor)
+        chosen: List[BufferDescriptor] = []
+        # Exhaust the zombie tier before touching any active buffer, and
+        # round-robin across hosts within each tier (unless striping is
+        # disabled, in which case hosts are drained one at a time).
+        for is_zombie in (True, False):
+            buckets = [tiers[is_zombie][host]
+                       for host in sorted(tiers.get(is_zombie, {}))]
+            if not self.stripe:
+                for bucket in buckets:
+                    while bucket and len(chosen) < nb:
+                        chosen.append(bucket.pop(0))
+            while len(chosen) < nb and buckets:
+                for bucket in list(buckets):
+                    if not bucket:
+                        buckets.remove(bucket)
+                        continue
+                    chosen.append(bucket.pop(0))
+                    if len(chosen) == nb:
+                        break
+                buckets = [b for b in buckets if b]
+            if len(chosen) == nb:
+                break
+        return chosen
+
+    def _grow_pool_from_active(self, requesting_user: str) -> None:
+        """Ask active servers to lend more memory (``AS_get_free_mem``)."""
+        for host, client in sorted(self.agent_clients.items()):
+            if host == requesting_user or host in self.zombie_hosts:
+                continue
+            try:
+                new_buffers = client.call(Method.AS_GET_FREE_MEM.value)
+            except Exception:
+                continue  # unreachable/unwilling active server: skip it
+            for descriptor in new_buffers:
+                if descriptor.buffer_id not in self.db:
+                    self.db.add(descriptor.with_kind(BufferKind.ACTIVE))
+
+    def _revoke_swap_from_users(self, requesting_user: str,
+                                nb: int) -> List[BufferDescriptor]:
+        """Take back best-effort swap buffers to honour a guarantee."""
+        revocable = [
+            b for b in self.db.all_buffers()
+            if (b.allocated and b.user != requesting_user
+                and self.allocation_purpose.get(b.buffer_id) == "swap")
+        ]
+        revocable.sort(key=lambda b: b.buffer_id)
+        victims = revocable[:nb]
+        self._revoke(victims)
+        freed = []
+        for descriptor in victims:
+            self.allocation_purpose.pop(descriptor.buffer_id, None)
+            freed.append(self.db.unassign(descriptor.buffer_id))
+        return freed
+
+    def _revoke(self, buffers: List[BufferDescriptor]) -> None:
+        """Send ``US_reclaim`` to every affected user, grouped per user."""
+        per_user: Dict[str, List[int]] = {}
+        for descriptor in buffers:
+            if descriptor.user is not None:
+                per_user.setdefault(descriptor.user, []).append(
+                    descriptor.buffer_id
+                )
+        for user, ids in sorted(per_user.items()):
+            client = self.agent_clients.get(user)
+            if client is None:
+                raise ControllerError(
+                    f"no agent channel to {user!r} for US_reclaim"
+                )
+            client.call(Method.US_RECLAIM.value, ids)
+
+    # -- introspection -----------------------------------------------------
+    def pool_summary(self) -> Dict[str, int]:
+        return {
+            "buffers": len(self.db),
+            "free_bytes": self.db.free_bytes(),
+            "total_bytes": self.db.total_bytes(),
+            "zombie_hosts": len(self.zombie_hosts),
+        }

@@ -1,0 +1,143 @@
+"""The controller's in-memory buffer database.
+
+Pure bookkeeping (no RPC, no fabric): which buffers exist, who serves them,
+who uses them.  The controller wraps every mutation so it can be mirrored to
+the secondary; the database itself also journals mutations as ``(op, args)``
+tuples, which is what flows over the mirroring channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.protocol import BufferDescriptor, BufferKind
+from repro.errors import BufferError_, ControllerError
+
+
+class BufferDatabase:
+    """Buffer records indexed by id, host and user."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[int, BufferDescriptor] = {}
+        self.journal: List[Tuple[str, tuple]] = []
+
+    # -- mutations (journaled) ------------------------------------------------
+    def add(self, descriptor: BufferDescriptor) -> None:
+        if descriptor.buffer_id in self._buffers:
+            raise BufferError_(f"duplicate buffer id {descriptor.buffer_id}")
+        self._buffers[descriptor.buffer_id] = descriptor
+        self.journal.append(("add", (descriptor,)))
+
+    def remove(self, buffer_id: int) -> BufferDescriptor:
+        descriptor = self._buffers.pop(buffer_id, None)
+        if descriptor is None:
+            raise BufferError_(f"unknown buffer id {buffer_id}")
+        self.journal.append(("remove", (buffer_id,)))
+        return descriptor
+
+    def assign(self, buffer_id: int, user: str) -> BufferDescriptor:
+        descriptor = self._get(buffer_id)
+        if descriptor.allocated:
+            raise BufferError_(
+                f"buffer {buffer_id} already allocated to {descriptor.user!r}"
+            )
+        updated = descriptor.with_user(user)
+        self._buffers[buffer_id] = updated
+        self.journal.append(("assign", (buffer_id, user)))
+        return updated
+
+    def unassign(self, buffer_id: int) -> BufferDescriptor:
+        descriptor = self._get(buffer_id)
+        if not descriptor.allocated:
+            raise BufferError_(f"buffer {buffer_id} is not allocated")
+        updated = descriptor.with_user(None)
+        self._buffers[buffer_id] = updated
+        self.journal.append(("unassign", (buffer_id,)))
+        return updated
+
+    def set_kind(self, buffer_id: int, kind: BufferKind) -> BufferDescriptor:
+        """Re-label a buffer when its serving host changes power state."""
+        updated = self._get(buffer_id).with_kind(kind)
+        self._buffers[buffer_id] = updated
+        self.journal.append(("set_kind", (buffer_id, kind)))
+        return updated
+
+    def apply(self, op: str, args: tuple) -> None:
+        """Apply a journaled mutation (the secondary's mirroring path)."""
+        handlers = {
+            "add": lambda d: self._buffers.__setitem__(d.buffer_id, d),
+            "remove": lambda bid: self._buffers.pop(bid, None),
+            "assign": lambda bid, user: self._buffers.__setitem__(
+                bid, self._get(bid).with_user(user)),
+            "unassign": lambda bid: self._buffers.__setitem__(
+                bid, self._get(bid).with_user(None)),
+            "set_kind": lambda bid, kind: self._buffers.__setitem__(
+                bid, self._get(bid).with_kind(kind)),
+        }
+        handler = handlers.get(op)
+        if handler is None:
+            raise ControllerError(f"unknown mirrored operation {op!r}")
+        handler(*args)
+        self.journal.append((op, args))
+
+    # -- queries --------------------------------------------------------
+    def get(self, buffer_id: int) -> BufferDescriptor:
+        return self._get(buffer_id)
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def __contains__(self, buffer_id: int) -> bool:
+        return buffer_id in self._buffers
+
+    def all_buffers(self) -> List[BufferDescriptor]:
+        return list(self._buffers.values())
+
+    def by_host(self, host: str) -> List[BufferDescriptor]:
+        return [b for b in self._buffers.values() if b.host == host]
+
+    def by_user(self, user: str) -> List[BufferDescriptor]:
+        return [b for b in self._buffers.values() if b.user == user]
+
+    def free_buffers(self, zombie_first: bool = True) -> List[BufferDescriptor]:
+        """Unallocated buffers; zombie-served buffers first when asked.
+
+        "Memory from zombie servers have always higher priority than memory
+        from active servers."
+        """
+        free = [b for b in self._buffers.values() if not b.allocated]
+        if zombie_first:
+            free.sort(key=lambda b: (b.kind is not BufferKind.ZOMBIE,
+                                     b.buffer_id))
+        else:
+            free.sort(key=lambda b: b.buffer_id)
+        return free
+
+    def allocated_count_by_host(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for buffer in self._buffers.values():
+            counts.setdefault(buffer.host, 0)
+            if buffer.allocated:
+                counts[buffer.host] += 1
+        return counts
+
+    def free_bytes(self) -> int:
+        return sum(b.size_bytes for b in self._buffers.values()
+                   if not b.allocated)
+
+    def total_bytes(self) -> int:
+        return sum(b.size_bytes for b in self._buffers.values())
+
+    def snapshot(self) -> List[BufferDescriptor]:
+        """Full-state copy (bootstrap of a fresh secondary)."""
+        return list(self._buffers.values())
+
+    def load_snapshot(self, buffers: List[BufferDescriptor]) -> None:
+        self._buffers = {b.buffer_id: b for b in buffers}
+        self.journal.append(("snapshot", (len(buffers),)))
+
+    def _get(self, buffer_id: int) -> BufferDescriptor:
+        descriptor = self._buffers.get(buffer_id)
+        if descriptor is None:
+            raise BufferError_(f"unknown buffer id {buffer_id}")
+        return descriptor

@@ -1,0 +1,92 @@
+"""Structured event log for rack operations.
+
+An :class:`EventLog` collects timestamped, typed events from the control
+plane — Sz transitions, allocations, reclaims, failovers — giving tests and
+operators an audit trail of *what the rack did*, independent of the
+counters each subsystem keeps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class EventKind(enum.Enum):
+    """The control-plane events worth auditing."""
+
+    ZOMBIE_ENTER = "zombie-enter"
+    ZOMBIE_EXIT = "zombie-exit"
+    BUFFERS_LENT = "buffers-lent"
+    BUFFERS_RECLAIMED = "buffers-reclaimed"
+    ALLOC_EXT = "alloc-ext"
+    ALLOC_SWAP = "alloc-swap"
+    BUFFERS_RELEASED = "buffers-released"
+    BUFFERS_TRANSFERRED = "buffers-transferred"
+    US_RECLAIM = "us-reclaim"
+    VM_CREATED = "vm-created"
+    VM_DESTROYED = "vm-destroyed"
+    VM_MIGRATED = "vm-migrated"
+    FAILOVER = "failover"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One audited event."""
+
+    seq: int
+    time_s: float
+    kind: EventKind
+    host: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time_s:10.3f}] #{self.seq} {self.kind.value} " \
+               f"{self.host} {extras}".rstrip()
+
+
+class EventLog:
+    """An append-only, queryable event journal."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 capacity: int = 100_000):
+        self._clock = clock or (lambda: 0.0)
+        self.capacity = capacity
+        self._events: List[Event] = []
+        self._seq = 0
+        self.dropped = 0
+
+    def emit(self, kind: EventKind, host: str, **detail) -> Event:
+        """Record one event (oldest entries are dropped past capacity)."""
+        event = Event(seq=self._seq, time_s=self._clock(), kind=kind,
+                      host=host, detail=detail)
+        self._seq += 1
+        self._events.append(event)
+        if len(self._events) > self.capacity:
+            self._events.pop(0)
+            self.dropped += 1
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: EventKind) -> List[Event]:
+        return [e for e in self._events if e.kind is kind]
+
+    def for_host(self, host: str) -> List[Event]:
+        return [e for e in self._events if e.host == host]
+
+    def last(self) -> Optional[Event]:
+        return self._events[-1] if self._events else None
+
+    def counts(self) -> Dict[str, int]:
+        """Event-kind histogram (telemetry snapshot)."""
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event.kind.value] = out.get(event.kind.value, 0) + 1
+        return out

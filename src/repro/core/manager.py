@@ -1,0 +1,282 @@
+"""The per-server *remote-mem-mgr* agent.
+
+Each rack server runs one.  It talks to the global controller over RPC over
+RDMA and does the local legwork on both sides of the protocol:
+
+- **lender side** — carve free local memory into ``BUFF_SIZE`` buffers,
+  register them as RDMA memory regions, and announce them
+  (``GS_goto_zombie`` on suspend, ``AS_get_free_mem`` when the controller
+  asks an active server to lend);
+- **user side** — allocate remote memory (``GS_alloc_ext`` /
+  ``GS_alloc_swap``) into a :class:`RemotePageStore`, and honour
+  ``US_reclaim`` revocations by re-homing pages from the local backup.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protocol import BufferDescriptor, BufferKind, Method
+from repro.errors import BufferError_, ControllerError
+from repro.memory.buffers import BufferLease, RemotePageStore
+from repro.memory.frames import Frame, FrameAllocator
+from repro.rdma.fabric import RdmaNode
+from repro.rdma.rpc import RpcClient, RpcServer
+from repro.units import DEFAULT_BUFF_SIZE, PAGE_SIZE
+
+#: Global buffer-id allocator: the lender picks ids; a process-wide counter
+#: keeps them rack-unique (the paper leaves id assignment unspecified).
+_buffer_ids = itertools.count(1)
+
+
+class _LentBuffer:
+    """Lender-side record of one buffer we are serving."""
+
+    def __init__(self, descriptor: BufferDescriptor, rkey: int,
+                 frames: List[Frame]):
+        self.descriptor = descriptor
+        self.rkey = rkey
+        self.frames = frames
+
+
+class RemoteMemoryManager:
+    """One server's agent: lender and user of rack remote memory."""
+
+    def __init__(self, host: str, node: RdmaNode, allocator: FrameAllocator,
+                 buff_size: int = DEFAULT_BUFF_SIZE,
+                 lend_reserve_fraction: float = 0.25):
+        self.host = host
+        self.node = node
+        self.allocator = allocator
+        self.buff_size = buff_size
+        #: Fraction of free memory an *active* server keeps for itself when
+        #: asked to lend (a zombie lends everything).
+        self.lend_reserve_fraction = lend_reserve_fraction
+        self.controller: Optional[RpcClient] = None
+        self.rpc = RpcServer(node)
+        self.rpc.register(Method.US_RECLAIM.value, self.us_reclaim)
+        self.rpc.register(Method.AS_GET_FREE_MEM.value, self.as_get_free_mem)
+        self._lent: Dict[int, _LentBuffer] = {}
+        self._stores_by_buffer: Dict[int, RemotePageStore] = {}
+        self._stores_needing_repair: List[RemotePageStore] = []
+        self.reclaims_served = 0
+
+    # -- wiring ----------------------------------------------------------
+    def attach_controller(self, client: RpcClient) -> None:
+        """(Re)point this agent at the current primary controller."""
+        self.controller = client
+
+    def _call(self, method: Method, *args):
+        if self.controller is None:
+            raise ControllerError(f"{self.host}: no controller attached")
+        return self.controller.call(method.value, *args)
+
+    # -- lender side ---------------------------------------------------------
+    @property
+    def lent_bytes(self) -> int:
+        return sum(b.descriptor.size_bytes for b in self._lent.values())
+
+    @property
+    def lent_buffer_ids(self) -> List[int]:
+        return sorted(self._lent)
+
+    def carve_buffers(self, max_bytes: Optional[int] = None
+                      ) -> List[BufferDescriptor]:
+        """Turn free local frames into registered, lendable buffers."""
+        frames_per_buffer = self.buff_size // PAGE_SIZE
+        descriptors: List[BufferDescriptor] = []
+        budget = max_bytes if max_bytes is not None else float("inf")
+        while (self.allocator.free_frames >= frames_per_buffer
+               and budget >= self.buff_size):
+            frames = self.allocator.alloc_many(frames_per_buffer)
+            mr = self.node.register_mr(self.buff_size)
+            descriptor = BufferDescriptor(
+                buffer_id=next(_buffer_ids), host=self.host, offset=0,
+                size_bytes=self.buff_size, kind=BufferKind.ACTIVE,
+                rkey=mr.rkey,
+            )
+            self._lent[descriptor.buffer_id] = _LentBuffer(
+                descriptor, mr.rkey, frames
+            )
+            descriptors.append(descriptor)
+            budget -= self.buff_size
+        return descriptors
+
+    def delegate_for_zombie(self) -> int:
+        """Sz-entry path: lend all free memory, announce ``GS_goto_zombie``.
+
+        Invoked from the OSPM pre-sleep hook.  Returns the number of
+        buffers now lent by this host.
+        """
+        descriptors = self.carve_buffers()
+        return self._call(Method.GS_GOTO_ZOMBIE, self.host, descriptors)
+
+    def announce_wake(self) -> None:
+        self._call(Method.GS_WAKE, self.host)
+
+    def as_get_free_mem(self) -> List[BufferDescriptor]:
+        """Controller-invoked: an active server lends part of its slack."""
+        free_bytes = self.allocator.free_frames * PAGE_SIZE
+        lendable = int(free_bytes * (1.0 - self.lend_reserve_fraction))
+        return self.carve_buffers(max_bytes=lendable)
+
+    def reclaim(self, nb_buffers: int) -> int:
+        """Take ``nb_buffers`` of our memory back; returns bytes recovered."""
+        if nb_buffers <= 0:
+            return 0
+        ids = self._call(Method.GS_RECLAIM, self.host, nb_buffers)
+        recovered = 0
+        for buffer_id in ids:
+            lent = self._lent.pop(buffer_id, None)
+            if lent is None:
+                raise BufferError_(
+                    f"{self.host}: controller returned unknown buffer "
+                    f"{buffer_id}"
+                )
+            self.node.deregister_mr(lent.rkey)
+            self.allocator.free_many(lent.frames)
+            recovered += lent.descriptor.size_bytes
+        return recovered
+
+    def reclaim_all(self) -> int:
+        return self.reclaim(len(self._lent))
+
+    def reclaim_bytes(self, wanted_bytes: int) -> int:
+        """Reclaim enough buffers to recover at least ``wanted_bytes``."""
+        nb = min(len(self._lent),
+                 (wanted_bytes + self.buff_size - 1) // self.buff_size)
+        return self.reclaim(nb)
+
+    # -- user side ------------------------------------------------------------
+    def request_ext(self, mem_size: int) -> RemotePageStore:
+        """Guaranteed RAM-Extension allocation (VM creation time)."""
+        descriptors = self._call(Method.GS_ALLOC_EXT, self.host, mem_size)
+        return self._build_store(descriptors)
+
+    def request_swap(self, mem_size: int) -> Tuple[RemotePageStore, int]:
+        """Best-effort swap allocation; returns (store, granted bytes)."""
+        descriptors = self._call(Method.GS_ALLOC_SWAP, self.host, mem_size)
+        store = self._build_store(descriptors)
+        return store, sum(d.size_bytes for d in descriptors)
+
+    def extend_swap(self, store: RemotePageStore, mem_size: int) -> int:
+        """Hourly top-up: attach newly-available buffers to ``store``."""
+        descriptors = self._call(Method.GS_ALLOC_SWAP, self.host, mem_size)
+        for descriptor in descriptors:
+            store.add_lease(self._lease_from(descriptor))
+            self._stores_by_buffer[descriptor.buffer_id] = store
+        return sum(d.size_bytes for d in descriptors)
+
+    def schedule_swap_topup(self, engine, store: RemotePageStore,
+                            target_bytes: int,
+                            period_s: float = 3600.0):
+        """Hourly ``GS_alloc_swap`` retry (Section 4.4: "periodically
+        called (i.e. every 1 hour) in order to take advantage of unused
+        remote buffers").
+
+        Grows ``store`` toward ``target_bytes`` each period and re-homes
+        any local-fallback pages into the new space.  Returns the
+        :class:`~repro.sim.process.PeriodicProcess` (caller may stop it).
+        """
+        from repro.sim.process import PeriodicProcess
+
+        def top_up():
+            shortfall = target_bytes - store.total_slots * PAGE_SIZE
+            if shortfall > 0:
+                self.extend_swap(store, shortfall)
+            if store.fallback_count:
+                store.restore_fallbacks()
+
+        process = PeriodicProcess(engine, period_s, top_up,
+                                  name=f"{self.host}-swap-topup")
+        process.start()
+        return process
+
+    def release_store(self, store: RemotePageStore) -> None:
+        """Return every buffer behind ``store`` to the controller."""
+        ids = store.lease_ids()
+        for buffer_id in ids:
+            store.remove_lease(buffer_id)
+            self._stores_by_buffer.pop(buffer_id, None)
+        self._call(Method.GS_RELEASE, self.host, ids)
+
+    def transfer_store_out(self, store: RemotePageStore) -> List[int]:
+        """Migration source side: drop local tracking of ``store``."""
+        ids = store.lease_ids()
+        for buffer_id in ids:
+            self._stores_by_buffer.pop(buffer_id, None)
+        return ids
+
+    def transfer_store_in(self, store: RemotePageStore,
+                          old_user: str) -> None:
+        """Migration destination side: adopt ``store`` and its buffers.
+
+        Rebinds the store's queue pairs to this node and updates the
+        controller's ownership pointers (``GS_transfer``).
+        """
+        store.rebind(self.node)
+        ids = store.lease_ids()
+        for buffer_id in ids:
+            self._stores_by_buffer[buffer_id] = store
+        if ids:
+            self._call(Method.GS_TRANSFER, old_user, self.host, ids)
+
+    def us_reclaim(self, buffer_ids: List[int]) -> int:
+        """Controller-invoked revocation of buffers we are *using*.
+
+        The store re-homes each page (remaining leases first, local backup
+        as the slow path); outstanding page keys keep working.
+        """
+        rehomed = 0
+        for buffer_id in buffer_ids:
+            store = self._stores_by_buffer.pop(buffer_id, None)
+            if store is None:
+                continue  # already released on our side
+            store.remove_lease(buffer_id)
+            if (store.fallback_count and
+                    store not in self._stores_needing_repair):
+                self._stores_needing_repair.append(store)
+            rehomed += 1
+        self.reclaims_served += 1
+        return rehomed
+
+    def repair_stores(self) -> int:
+        """Re-home pages stranded on the local backup after reclaims.
+
+        Requests replacement buffers (best effort) and moves fallback
+        pages into them — the paper's "transferring the backup copy of the
+        data to other remote locations".  Deferred out of the ``US_reclaim``
+        handler itself to keep the controller's reclaim non-reentrant.
+        Returns the number of pages restored to remote memory.
+        """
+        restored = 0
+        pending, self._stores_needing_repair = (
+            self._stores_needing_repair, []
+        )
+        for store in pending:
+            shortfall = store.fallback_count * PAGE_SIZE
+            if shortfall <= 0:
+                continue
+            self.extend_swap(store, shortfall)
+            restored += store.restore_fallbacks()
+            if store.fallback_count:
+                self._stores_needing_repair.append(store)
+        return restored
+
+    # -- helpers ---------------------------------------------------------
+    def _build_store(self, descriptors: List[BufferDescriptor]
+                     ) -> RemotePageStore:
+        store = RemotePageStore(self.node)
+        for descriptor in descriptors:
+            store.add_lease(self._lease_from(descriptor))
+            self._stores_by_buffer[descriptor.buffer_id] = store
+        return store
+
+    @staticmethod
+    def _lease_from(descriptor: BufferDescriptor) -> BufferLease:
+        return BufferLease(
+            buffer_id=descriptor.buffer_id, host=descriptor.host,
+            rkey=descriptor.rkey, size_bytes=descriptor.size_bytes,
+            zombie=descriptor.kind is BufferKind.ZOMBIE,
+        )

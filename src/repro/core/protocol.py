@@ -1,0 +1,78 @@
+"""Wire-level definitions of the rack memory-management protocol.
+
+The paper names seven calls (Sections 4.3-4.4); the controller serves the
+``GS_`` ones and each remote-mem-mgr serves ``US_reclaim`` (buffers taken
+back from a user) and ``AS_get_free_mem`` (an active server asked to lend
+more memory).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class Method(str, enum.Enum):
+    """RPC method names, exactly as the paper spells them."""
+
+    GS_GOTO_ZOMBIE = "GS_goto_zombie"
+    GS_RECLAIM = "GS_reclaim"
+    GS_ALLOC_EXT = "GS_alloc_ext"
+    GS_ALLOC_SWAP = "GS_alloc_swap"
+    GS_GET_LRU_ZOMBIE = "GS_get_lru_zombie"
+    GS_RELEASE = "GS_release"          # user returns buffers it no longer needs
+    GS_TRANSFER = "GS_transfer"        # migration: move buffer ownership
+    GS_WAKE = "GS_wake"                # zombie became active again
+    US_RECLAIM = "US_reclaim"
+    AS_GET_FREE_MEM = "AS_get_free_mem"
+    MIRROR_OP = "mirror_op"            # controller → secondary replication
+    HEARTBEAT = "heartbeat"
+
+
+class BufferKind(str, enum.Enum):
+    """Who serves a buffer: a zombie (Sz) or an active (S0) server."""
+
+    ZOMBIE = "zombie"
+    ACTIVE = "active"
+
+
+@dataclass(frozen=True)
+class BufferDescriptor:
+    """One rack buffer as tracked by the controller's database.
+
+    Matches the paper's record: "an identifier, offset, size, its type
+    (active/zombie), the host serving the buffer, and the server currently
+    using this buffer (nil if it is not yet allocated)."  ``rkey`` is the
+    RDMA registration users need to address it.
+    """
+
+    buffer_id: int
+    host: str
+    offset: int
+    size_bytes: int
+    kind: BufferKind
+    rkey: int
+    user: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(
+                f"buffer {self.buffer_id}: size must be positive"
+            )
+        if self.offset < 0:
+            raise ConfigurationError(
+                f"buffer {self.buffer_id}: negative offset"
+            )
+
+    @property
+    def allocated(self) -> bool:
+        return self.user is not None
+
+    def with_user(self, user: Optional[str]) -> "BufferDescriptor":
+        return replace(self, user=user)
+
+    def with_kind(self, kind: BufferKind) -> "BufferDescriptor":
+        return replace(self, kind=kind)

@@ -1,0 +1,208 @@
+"""Rack assembly: controllers, servers, and all the RPC wiring.
+
+Reproduces the Fig. 7 deployment: one global memory controller, one
+mirrored secondary with heartbeat failover, and N general-purpose servers,
+all on one RDMA fabric.  Also provides the convenience operations the upper
+(cloud) layer uses: create a RAM-Ext VM, push a server to Sz, wake it back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.controller import GlobalMemoryController
+from repro.core.events import EventKind
+from repro.core.secondary import SecondaryController
+from repro.core.server import RackServer
+from repro.errors import ConfigurationError, PlacementError
+from repro.hypervisor.vm import Vm, VmSpec
+from repro.rdma.costs import RdmaCostModel
+from repro.rdma.fabric import Fabric
+from repro.rdma.rpc import RpcClient
+from repro.sim.engine import Engine
+from repro.units import DEFAULT_BUFF_SIZE, GiB
+
+#: Nova's relaxed filter: a host qualifies if it can place at least this
+#: fraction of a VM's memory locally (Section 5.1's empirical 50 %).
+DEFAULT_LOCAL_FRACTION = 0.5
+
+
+class Rack:
+    """A fully wired rack."""
+
+    def __init__(self, server_names: List[str],
+                 memory_bytes: int = 16 * GiB,
+                 buff_size: int = DEFAULT_BUFF_SIZE,
+                 engine: Optional[Engine] = None,
+                 costs: Optional[RdmaCostModel] = None,
+                 heartbeat_period_s: float = 1.0):
+        if not server_names:
+            raise ConfigurationError("a rack needs at least one server")
+        if len(set(server_names)) != len(server_names):
+            raise ConfigurationError("duplicate server names")
+        self.engine = engine or Engine()
+        self.fabric = Fabric(costs=costs)
+        self.buff_size = buff_size
+
+        # Dedicated controller machines (always-on S0 nodes).
+        ctr_node = self.fabric.add_node("global-mem-ctr")
+        sec_node = self.fabric.add_node("secondary-ctr")
+        self.controller = GlobalMemoryController(ctr_node, buff_size=buff_size)
+        self.controller.events._clock = lambda: self.engine.now
+        self.secondary = SecondaryController(
+            sec_node, self.engine, heartbeat_period_s=heartbeat_period_s
+        )
+        mirror_client = RpcClient(ctr_node, self.secondary.rpc)
+        self.controller.mirror = self.secondary.attach_rpc_mirror(mirror_client)
+        self.secondary.watch(RpcClient(sec_node, self.controller.rpc))
+        self.secondary.on_failover = self._failover
+
+        # General-purpose servers.
+        self.servers: Dict[str, RackServer] = {}
+        for name in server_names:
+            server = RackServer(name, self.fabric,
+                                memory_bytes=memory_bytes,
+                                buff_size=buff_size)
+            server.manager.attach_controller(
+                RpcClient(server.node, self.controller.rpc)
+            )
+            self.controller.attach_agent(
+                name, RpcClient(ctr_node, server.manager.rpc)
+            )
+            self.servers[name] = server
+
+    # -- lookups ----------------------------------------------------------
+    def server(self, name: str) -> RackServer:
+        try:
+            return self.servers[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown server {name!r}") from None
+
+    def zombie_servers(self) -> List[RackServer]:
+        return [s for s in self.servers.values() if s.is_zombie]
+
+    def active_servers(self) -> List[RackServer]:
+        """Servers running in S0 (zombies and S3/S4/S5 sleepers excluded)."""
+        from repro.acpi.states import SleepState
+        return [s for s in self.servers.values()
+                if s.state is SleepState.S0]
+
+    # -- power operations --------------------------------------------------
+    def make_zombie(self, name: str) -> None:
+        self.server(name).go_zombie()
+
+    def wake(self, name: str, reclaim_bytes: int = 0) -> float:
+        latency = self.server(name).wake(reclaim_bytes=reclaim_bytes)
+        if reclaim_bytes > 0:
+            # Re-home any pages the reclaim pushed onto local backups.
+            for server in self.servers.values():
+                server.manager.repair_stores()
+        return latency
+
+    # -- VM operations ------------------------------------------------------
+    def create_vm(self, host: str, spec: VmSpec,
+                  local_fraction: float = DEFAULT_LOCAL_FRACTION,
+                  policy: str = "Mixed", **policy_kwargs) -> Vm:
+        """Start a RAM-Ext VM on ``host``.
+
+        ``local_fraction`` of the VM's reserved memory is backed by local
+        frames; the remainder comes from the rack pool via ``GS_alloc_ext``
+        (one call, VM-creation time, guaranteed).
+        """
+        if not 0.0 < local_fraction <= 1.0:
+            raise ConfigurationError(
+                f"local_fraction out of (0,1]: {local_fraction}"
+            )
+        server = self.server(host)
+        local_bytes = int(spec.memory_bytes * local_fraction)
+        if local_bytes > server.free_bytes:
+            raise PlacementError(
+                f"{host}: needs {local_bytes} local bytes, has "
+                f"{server.free_bytes}"
+            )
+        remote_bytes = spec.memory_bytes - local_bytes
+        store = None
+        if remote_bytes > 0:
+            store = server.manager.request_ext(remote_bytes)
+        vm = server.hypervisor.create_vm(
+            spec, local_bytes, store=store, policy=policy, **policy_kwargs
+        )
+        self.events.emit(EventKind.VM_CREATED, host, vm=spec.name,
+                         local_fraction=round(local_fraction, 3))
+        return vm
+
+    def migrate_vm(self, vm_name: str, src: str, dst: str):
+        """Live-migrate a VM with the ZombieStack protocol (Section 5.3).
+
+        The VM is stopped, its hot (local-resident) pages are copied to the
+        destination, and its remote memory never moves — the controller
+        just re-points the buffer ownership (``GS_transfer``) and the
+        destination reconnects the queue pairs.  Returns the
+        :class:`~repro.hypervisor.migration.MigrationResult`.
+        """
+        from repro.hypervisor.migration import migrate_zombiestack
+        from repro.hypervisor.vm import VmState
+        source, target = self.server(src), self.server(dst)
+        vm = source.hypervisor.vms.get(vm_name)
+        if vm is None:
+            raise ConfigurationError(f"{src}: unknown VM {vm_name!r}")
+        vm.transition(VmState.MIGRATING)
+        local_pages = vm.table.resident_pages
+        remote_pages = vm.table.remote_pages
+        vm, store, stats, contents = source.hypervisor.release_vm(vm_name)
+        leases = len(store.lease_ids()) if store is not None else 0
+        result = migrate_zombiestack(local_pages, remote_pages,
+                                     remote_leases=leases)
+        if store is not None:
+            source.manager.transfer_store_out(store)
+            target.manager.transfer_store_in(store, old_user=src)
+        target.hypervisor.adopt_vm(vm, store, stats, contents)
+        vm.transition(VmState.RUNNING)
+        self.events.emit(EventKind.VM_MIGRATED, dst, vm=vm_name,
+                         from_host=src,
+                         pages_moved=result.pages_transferred)
+        return result
+
+    def destroy_vm(self, host: str, vm_name: str) -> None:
+        server = self.server(host)
+        store = server.hypervisor.store_for(vm_name)
+        server.hypervisor.destroy_vm(vm_name)
+        if store is not None:
+            server.manager.release_store(store)
+        self.events.emit(EventKind.VM_DESTROYED, host, vm=vm_name)
+
+    # -- high availability ------------------------------------------------
+    def _failover(self, secondary: SecondaryController) -> None:
+        """Promote the secondary and re-wire every agent to it."""
+        new_controller = secondary.promote(self.buff_size)
+        for name, server in self.servers.items():
+            server.manager.attach_controller(
+                RpcClient(server.node, new_controller.rpc)
+            )
+            new_controller.attach_agent(
+                name, RpcClient(secondary.node, server.manager.rpc)
+            )
+        new_controller.events = self.controller.events
+        self.controller = new_controller
+        self.events.emit(EventKind.FAILOVER, "secondary-ctr")
+
+    def kill_controller(self) -> None:
+        """Simulate a primary-controller crash (for failover tests).
+
+        The controller node keeps no platform, so we model the crash by
+        unregistering its heartbeat handler.
+        """
+        from repro.core.protocol import Method
+        self.controller.rpc.unregister(Method.HEARTBEAT.value)
+
+    # -- rack-wide accounting ------------------------------------------------
+    @property
+    def events(self):
+        """The rack's audit log (owned by the current controller)."""
+        return self.controller.events
+
+    def pool_summary(self) -> Dict[str, int]:
+        return self.controller.pool_summary()
+
+    def total_power_watts(self) -> float:
+        return sum(s.platform.power_draw() for s in self.servers.values())

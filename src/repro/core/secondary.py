@@ -1,0 +1,113 @@
+"""The secondary memory controller (*secondary-ctr*).
+
+Provides transparent high availability for the global controller: it
+receives every mutation over a mirroring RPC channel (synchronous with the
+primary's operations) and monitors the primary with a periodic heartbeat.
+After ``miss_threshold`` consecutive missed heartbeats it promotes itself:
+a fresh :class:`GlobalMemoryController` is built from the mirrored state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from repro.core.controller import GlobalMemoryController
+from repro.core.database import BufferDatabase
+from repro.core.protocol import Method
+from repro.errors import FailoverError, RpcError
+from repro.rdma.fabric import RdmaNode
+from repro.rdma.rpc import RpcClient, RpcServer
+from repro.sim.engine import Engine
+from repro.sim.process import PeriodicProcess
+
+
+class SecondaryController:
+    """Hot standby: mirrored state + heartbeat-driven failover."""
+
+    def __init__(self, node: RdmaNode, engine: Engine,
+                 heartbeat_period_s: float = 1.0, miss_threshold: int = 3):
+        self.node = node
+        self.engine = engine
+        self.db = BufferDatabase()
+        self.zombie_hosts: Set[str] = set()
+        self.rpc = RpcServer(node)
+        self.rpc.register(Method.MIRROR_OP.value, self.apply_mirror)
+        self.miss_threshold = miss_threshold
+        self.consecutive_misses = 0
+        self.heartbeats_ok = 0
+        self.promoted: Optional[GlobalMemoryController] = None
+        self.on_failover: Optional[Callable[["SecondaryController"], None]] = None
+        self._heartbeat_client: Optional[RpcClient] = None
+        self._monitor = PeriodicProcess(engine, heartbeat_period_s,
+                                        self._check_heartbeat,
+                                        name="secondary-heartbeat")
+
+    # -- mirroring ---------------------------------------------------------
+    def apply_mirror(self, op: str, args: tuple) -> None:
+        """Apply one mirrored mutation from the primary."""
+        if op == "zombie_add":
+            self.zombie_hosts.add(args[0])
+        elif op == "zombie_remove":
+            self.zombie_hosts.discard(args[0])
+        else:
+            self.db.apply(op, args)
+
+    def mirror_fn(self):
+        """The callback to install as the primary's ``mirror``.
+
+        Returned as a closure over an RPC client so mirroring crosses the
+        fabric like the real system (and fails if this node is down).
+        """
+        def forward(op: str, args: tuple) -> None:
+            self.apply_mirror(op, args)
+        return forward
+
+    def attach_rpc_mirror(self, client: RpcClient):
+        """Fabric-crossing variant: primary mirrors via RPC to our server."""
+        def forward(op: str, args: tuple) -> None:
+            client.call(Method.MIRROR_OP.value, op, args)
+        return forward
+
+    # -- heartbeat monitoring -----------------------------------------------
+    def watch(self, heartbeat_client: RpcClient) -> None:
+        """Begin monitoring the primary through ``heartbeat_client``."""
+        self._heartbeat_client = heartbeat_client
+        self._monitor.start()
+
+    def stop_watching(self) -> None:
+        self._monitor.stop()
+
+    def _check_heartbeat(self) -> None:
+        if self._heartbeat_client is None or self.promoted is not None:
+            return
+        try:
+            answer = self._heartbeat_client.call(Method.HEARTBEAT.value)
+            alive = answer == "alive"
+        except RpcError:
+            alive = False
+        if alive:
+            self.consecutive_misses = 0
+            self.heartbeats_ok += 1
+            return
+        self.consecutive_misses += 1
+        if self.consecutive_misses >= self.miss_threshold:
+            self._monitor.stop()
+            if self.on_failover is not None:
+                self.on_failover(self)
+
+    # -- failover ----------------------------------------------------------
+    def promote(self, buff_size: int) -> GlobalMemoryController:
+        """Become the primary, seeded with the mirrored state.
+
+        The caller (the rack) must re-attach every agent's RPC client to
+        the returned controller.
+        """
+        if self.promoted is not None:
+            raise FailoverError("secondary already promoted")
+        controller = GlobalMemoryController(self.node, buff_size=buff_size)
+        controller.db.load_snapshot(self.db.snapshot())
+        controller.zombie_hosts = set(self.zombie_hosts)
+        controller.known_hosts = set(self.zombie_hosts)
+        self.promoted = controller
+        self._monitor.stop()
+        return controller

@@ -1,0 +1,20 @@
+"""Datacenter-scale energy simulation (the Fig. 10 experiment).
+
+:mod:`~repro.dc.datacenter` turns a task trace into per-slot aggregate
+demand; :mod:`~repro.dc.energy_sim` applies each resource-management
+policy's packing rule per slot and integrates energy against a
+no-power-management baseline.
+"""
+
+from repro.dc.datacenter import DemandSlot, aggregate_demand
+from repro.dc.energy_sim import (PolicyEnergyResult, simulate_energy,
+                                 energy_saving_comparison, POLICIES)
+from repro.dc.packing import (PackResult, first_fit_decreasing, pack_neat,
+                              pack_zombiestack, tasks_active_at)
+
+__all__ = [
+    "DemandSlot", "aggregate_demand", "PolicyEnergyResult",
+    "simulate_energy", "energy_saving_comparison", "POLICIES",
+    "PackResult", "first_fit_decreasing", "pack_neat", "pack_zombiestack",
+    "tasks_active_at",
+]

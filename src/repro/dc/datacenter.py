@@ -1,0 +1,76 @@
+"""Per-slot aggregate demand extraction from a task trace.
+
+The energy simulation needs, for every time slot: booked CPU, booked
+memory, actual CPU and memory usage, and the idle-task share.  A single
+sweep over task start/end events computes all slots in O(T log T + S).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import TraceFormatError
+from repro.traces.schema import Task
+from repro.units import HOUR
+
+
+@dataclass(frozen=True)
+class DemandSlot:
+    """Aggregate demand during one time slot (normalized server units)."""
+
+    start_s: float
+    duration_s: float
+    cpu_booked: float
+    mem_booked: float
+    cpu_used: float
+    mem_used: float
+    idle_cpu_booked: float   # bookings of idle (cpu_usage < 1 %) tasks
+    idle_mem_booked: float
+    task_count: int
+
+
+def aggregate_demand(tasks: List[Task], slot_s: float = HOUR,
+                     duration_s: float = 0.0) -> List[DemandSlot]:
+    """Slot-level aggregate demand for ``tasks``.
+
+    ``duration_s`` defaults to the last task end.  Each task contributes
+    to every slot it overlaps, weighted by the overlap fraction.
+    """
+    if slot_s <= 0:
+        raise TraceFormatError(f"slot_s must be positive: {slot_s}")
+    if not tasks:
+        return []
+    horizon = duration_s or max(task.end_s for task in tasks)
+    n_slots = max(1, int(horizon / slot_s + 0.999999))
+    fields = [[0.0] * n_slots for _ in range(6)]
+    counts = [0] * n_slots
+    (cpu_b, mem_b, cpu_u, mem_u, idle_c, idle_m) = fields
+    for task in tasks:
+        first = int(task.start_s / slot_s)
+        last = min(n_slots - 1, int(task.end_s / slot_s))
+        for slot in range(first, last + 1):
+            slot_start = slot * slot_s
+            overlap = (min(task.end_s, slot_start + slot_s)
+                       - max(task.start_s, slot_start))
+            if overlap <= 0:
+                continue
+            weight = overlap / slot_s
+            cpu_b[slot] += task.cpu_request * weight
+            mem_b[slot] += task.mem_request * weight
+            cpu_u[slot] += task.cpu_usage * weight
+            mem_u[slot] += task.mem_usage * weight
+            if task.idle:
+                idle_c[slot] += task.cpu_request * weight
+                idle_m[slot] += task.mem_request * weight
+            counts[slot] += 1
+    return [
+        DemandSlot(
+            start_s=slot * slot_s, duration_s=slot_s,
+            cpu_booked=cpu_b[slot], mem_booked=mem_b[slot],
+            cpu_used=cpu_u[slot], mem_used=mem_u[slot],
+            idle_cpu_booked=idle_c[slot], idle_mem_booked=idle_m[slot],
+            task_count=counts[slot],
+        )
+        for slot in range(n_slots)
+    ]

@@ -1,0 +1,204 @@
+"""Policy energy models and the Fig. 10 comparison.
+
+For every demand slot each policy decides how many servers are active,
+zombie, on dedicated memory duty, or suspended, under its own packing
+rule:
+
+- **baseline** (no power management): every server stays in S0; VMs are
+  spread.  This is the reference the "% energy saving" bars compare to.
+- **Neat**: packs by *booked* resources (a host takes a VM only if it
+  holds the full booking) up to a CPU ceiling, evacuated hosts suspend
+  to S3.
+- **Oasis**: Neat, plus idle VMs are partially migrated — only the
+  working set stays on compute hosts, the cold remainder moves to memory
+  servers drawing 40 % of a regular server.
+- **ZombieStack**: packs by *actual utilization* (the relaxed 30 %-of-WSS
+  placement rule makes booked memory a non-constraint), cold memory is
+  served by zombie servers in Sz (equation-1 power), and the rest suspend
+  to S3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.dc.datacenter import DemandSlot, aggregate_demand
+from repro.energy.model import estimate_sz_fraction
+from repro.energy.profiles import MachineProfile, PowerConfig
+from repro.errors import ConfigurationError
+from repro.traces.schema import Task
+from repro.units import HOUR, KILOWATT_HOUR
+
+#: Packing headroom: a host is filled to this fraction of booked CPU.
+CPU_BOOKING_CEILING = 0.80
+#: Utilization-based ceiling for ZombieStack's usage-driven packing.
+CPU_USAGE_CEILING = 0.60
+#: Usable memory per host for placements (hypervisor reserve excluded).
+MEM_CEILING = 0.90
+#: Memory a zombie serves to the rack (small self-reserve kept).
+ZOMBIE_MEM_SERVED = 0.94
+#: Oasis memory-server power, fraction of a regular server's max.
+MEMORY_SERVER_FRACTION = 0.40
+#: Fraction of an idle VM's memory that is working set (moves with it).
+IDLE_WSS_FRACTION = 0.30
+#: ZombieStack placement: minimum local fraction of a VM's working set.
+ZS_LOCAL_WSS_FRACTION = 0.30
+
+
+@dataclass(frozen=True)
+class SlotPlan:
+    """One policy's server disposition for one slot."""
+
+    active: float          # servers in S0 running VMs
+    utilization: float     # actual CPU utilization of active servers
+    zombies: float = 0.0   # servers in Sz serving memory
+    memory_servers: float = 0.0  # Oasis memory servers
+    suspended: float = 0.0       # servers in S3
+
+
+PlanFn = Callable[[DemandSlot, int], SlotPlan]
+
+
+def _clamp_servers(active: float, n_servers: int) -> float:
+    return min(float(n_servers), max(active, 0.0))
+
+
+def plan_baseline(slot: DemandSlot, n_servers: int) -> SlotPlan:
+    """No power management: all servers on, load spread."""
+    util = min(1.0, slot.cpu_used / n_servers)
+    return SlotPlan(active=float(n_servers), utilization=util)
+
+
+def plan_neat(slot: DemandSlot, n_servers: int) -> SlotPlan:
+    """Booked-resource packing; emptied hosts suspend to S3."""
+    need = max(slot.cpu_booked / CPU_BOOKING_CEILING,
+               slot.mem_booked / MEM_CEILING)
+    active = _clamp_servers(max(need, 1e-9), n_servers)
+    util = min(1.0, slot.cpu_used / active) if active else 0.0
+    return SlotPlan(active=active, utilization=util,
+                    suspended=n_servers - active)
+
+
+def plan_oasis(slot: DemandSlot, n_servers: int) -> SlotPlan:
+    """Neat packing + idle VMs partially migrated to memory servers."""
+    active_cpu = slot.cpu_booked - slot.idle_cpu_booked * 0.95
+    cold_mem = slot.idle_mem_booked * (1.0 - IDLE_WSS_FRACTION)
+    active_mem = slot.mem_booked - cold_mem
+    need = max(active_cpu / CPU_BOOKING_CEILING, active_mem / MEM_CEILING)
+    active = _clamp_servers(max(need, 1e-9), n_servers)
+    mem_servers = cold_mem / MEM_CEILING
+    mem_servers = min(mem_servers, max(0.0, n_servers - active))
+    util = min(1.0, slot.cpu_used / active) if active else 0.0
+    return SlotPlan(active=active, utilization=util,
+                    memory_servers=mem_servers,
+                    suspended=max(0.0, n_servers - active - mem_servers))
+
+
+def plan_zombiestack(slot: DemandSlot, n_servers: int) -> SlotPlan:
+    """Usage-based packing; cold working-set memory served by zombies."""
+    need = max(slot.cpu_used / CPU_USAGE_CEILING,
+               slot.mem_used * ZS_LOCAL_WSS_FRACTION / MEM_CEILING)
+    active = _clamp_servers(max(need, 1e-9), n_servers)
+    local_mem = active * MEM_CEILING
+    remote_mem = max(0.0, slot.mem_used - local_mem)
+    zombies = remote_mem / ZOMBIE_MEM_SERVED
+    zombies = min(zombies, max(0.0, n_servers - active))
+    util = min(1.0, slot.cpu_used / active) if active else 0.0
+    return SlotPlan(active=active, utilization=util, zombies=zombies,
+                    suspended=max(0.0, n_servers - active - zombies))
+
+
+POLICIES: Dict[str, PlanFn] = {
+    "baseline": plan_baseline,
+    "Neat": plan_neat,
+    "Oasis": plan_oasis,
+    "ZombieStack": plan_zombiestack,
+}
+
+
+@dataclass
+class PolicyEnergyResult:
+    """Energy outcome of one policy over a trace."""
+
+    policy: str
+    profile: str
+    joules: float
+    baseline_joules: float
+    slots: int
+    mean_active_servers: float
+    mean_zombies: float
+
+    @property
+    def kwh(self) -> float:
+        return self.joules / KILOWATT_HOUR
+
+    @property
+    def saving_pct(self) -> float:
+        if self.baseline_joules <= 0:
+            return 0.0
+        return (1.0 - self.joules / self.baseline_joules) * 100.0
+
+
+def _slot_power(plan: SlotPlan, profile: MachineProfile) -> float:
+    """Rack power (watts) for one slot's plan."""
+    idle = profile.fraction(PowerConfig.S0_W_IB_ON)
+    f_active = idle + (1.0 - idle) * plan.utilization
+    fraction = (plan.active * f_active
+                + plan.zombies * estimate_sz_fraction(profile)
+                + plan.memory_servers * MEMORY_SERVER_FRACTION
+                + plan.suspended * profile.fraction(PowerConfig.S3_W_IB))
+    return fraction * profile.max_power_watts
+
+
+def simulate_energy(tasks: List[Task], n_servers: int,
+                    profile: MachineProfile, policy: str,
+                    slot_s: float = HOUR,
+                    slots: Optional[List[DemandSlot]] = None
+                    ) -> PolicyEnergyResult:
+    """Run one policy over a trace and integrate rack energy."""
+    plan_fn = POLICIES.get(policy)
+    if plan_fn is None:
+        raise ConfigurationError(
+            f"unknown policy {policy!r}; expected one of {sorted(POLICIES)}"
+        )
+    if slots is None:
+        slots = aggregate_demand(tasks, slot_s=slot_s)
+    joules = 0.0
+    baseline_joules = 0.0
+    active_sum = 0.0
+    zombie_sum = 0.0
+    for slot in slots:
+        plan = plan_fn(slot, n_servers)
+        joules += _slot_power(plan, profile) * slot.duration_s
+        baseline = plan_baseline(slot, n_servers)
+        baseline_joules += _slot_power(baseline, profile) * slot.duration_s
+        active_sum += plan.active
+        zombie_sum += plan.zombies
+    n = max(1, len(slots))
+    return PolicyEnergyResult(
+        policy=policy, profile=profile.name,
+        joules=joules, baseline_joules=baseline_joules,
+        slots=len(slots),
+        mean_active_servers=active_sum / n,
+        mean_zombies=zombie_sum / n,
+    )
+
+
+def energy_saving_comparison(tasks: List[Task], n_servers: int,
+                             profiles: Iterable[MachineProfile],
+                             policies: Iterable[str] = ("Neat", "Oasis",
+                                                        "ZombieStack"),
+                             slot_s: float = HOUR
+                             ) -> Dict[str, Dict[str, float]]:
+    """Fig. 10 bars: ``{profile: {policy: saving %}}`` for one trace set."""
+    slots = aggregate_demand(tasks, slot_s=slot_s)
+    out: Dict[str, Dict[str, float]] = {}
+    for profile in profiles:
+        row = {}
+        for policy in policies:
+            result = simulate_energy(tasks, n_servers, profile, policy,
+                                     slot_s=slot_s, slots=slots)
+            row[policy] = result.saving_pct
+        out[profile.name] = row
+    return out

@@ -1,0 +1,25 @@
+"""Energy modelling: measured machine profiles, the Sz estimate, rack models.
+
+- :mod:`~repro.energy.profiles` carries the paper's Table 3 measurements for
+  the HP Compaq Elite 8300 and Dell Precision Tower 5810 testbeds;
+- :mod:`~repro.energy.model` implements equation (1) — the Sz power
+  estimate — plus the Fig. 1 energy-proportionality curve and the Fig. 4
+  three-server rack scenarios;
+- :mod:`~repro.energy.meter` integrates power over (simulated) time.
+"""
+
+from repro.energy.profiles import (MachineProfile, PowerConfig, HP_PROFILE,
+                                   DELL_PROFILE, PROFILES)
+from repro.energy.model import (estimate_sz_fraction, server_power_fraction,
+                                server_power_watts,
+                                energy_proportionality_curve, RackScenario,
+                                rack_scenarios)
+from repro.energy.meter import EnergyMeter
+from repro.energy.rack_monitor import RackEnergyMonitor
+
+__all__ = [
+    "MachineProfile", "PowerConfig", "HP_PROFILE", "DELL_PROFILE", "PROFILES",
+    "estimate_sz_fraction", "server_power_fraction", "server_power_watts",
+    "energy_proportionality_curve", "RackScenario", "rack_scenarios",
+    "EnergyMeter", "RackEnergyMonitor",
+]

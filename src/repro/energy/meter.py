@@ -1,0 +1,62 @@
+"""Energy accounting: integrate power over (simulated) time.
+
+The datacenter simulation drives one :class:`EnergyMeter` per server: the
+server reports power-level changes, and the meter integrates piecewise-
+constant power into joules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import SimulationError
+from repro.units import KILOWATT_HOUR
+
+
+class EnergyMeter:
+    """Piecewise-constant power integrator (a software PowerSpy2)."""
+
+    def __init__(self, start_time: float = 0.0, power_watts: float = 0.0):
+        self._last_time = start_time
+        self._power = power_watts
+        self._joules = 0.0
+        self.segments: List[Tuple[float, float, float]] = []  # (t0, t1, W)
+
+    @property
+    def power_watts(self) -> float:
+        """Current power level."""
+        return self._power
+
+    @property
+    def joules(self) -> float:
+        """Energy integrated so far (up to the last reported instant)."""
+        return self._joules
+
+    @property
+    def kwh(self) -> float:
+        return self._joules / KILOWATT_HOUR
+
+    def set_power(self, now: float, power_watts: float) -> None:
+        """Report that power changed to ``power_watts`` at time ``now``."""
+        self.advance(now)
+        self._power = power_watts
+
+    def advance(self, now: float) -> None:
+        """Integrate the current power level up to ``now``."""
+        if now < self._last_time:
+            raise SimulationError(
+                f"meter time went backwards: {now} < {self._last_time}"
+            )
+        if now > self._last_time:
+            self._joules += self._power * (now - self._last_time)
+            self.segments.append((self._last_time, now, self._power))
+            self._last_time = now
+
+    def accumulate(self, power_watts: float, duration_s: float) -> None:
+        """Directly add a constant-power segment (timeline-free use)."""
+        if duration_s < 0:
+            raise SimulationError(f"negative duration {duration_s}")
+        self._joules += power_watts * duration_s
+        end = self._last_time + duration_s
+        self.segments.append((self._last_time, end, power_watts))
+        self._last_time = end

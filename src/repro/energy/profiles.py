@@ -1,0 +1,111 @@
+"""Measured machine power profiles (the paper's Table 3).
+
+The authors measured two lab machines with a PowerSpy2 power analyzer in
+seven configurations; each cell is a *percentage of the machine's maximum
+energy*.  We carry those percentages verbatim and attach a nominal absolute
+maximum power so simulations can report joules.
+
+Configuration naming follows the paper:
+
+- ``S0_WO_IB``   — S0, Infiniband card physically absent
+- ``S0_W_IB_OFF``— S0, card present but unused
+- ``S0_W_IB_ON`` — S0, card present and active
+- ``S3_WO_IB`` / ``S3_W_IB`` — suspend-to-RAM without/with the card
+- ``S4_WO_IB`` / ``S4_W_IB`` — suspend-to-disk without/with the card
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+class PowerConfig(enum.Enum):
+    """The measured configurations of Table 3."""
+
+    S0_WO_IB = "S0WOIB"
+    S0_W_IB_OFF = "S0WIBOff"
+    S0_W_IB_ON = "S0WIBOn"
+    S3_WO_IB = "S3WOIB"
+    S3_W_IB = "S3WIB"
+    S4_WO_IB = "S4WOIB"
+    S4_W_IB = "S4WIB"
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """One machine's measured power fractions plus a nominal absolute max.
+
+    ``fractions`` maps each :class:`PowerConfig` to a fraction of maximum
+    power in [0, 1].  ``max_power_watts`` is the machine's full-utilization
+    draw; it scales fractions to watts but never changes relative results.
+    ``idle_fraction`` is the S0-idle point of the Fig. 1 curve (with the
+    Infiniband card installed but unused, the states servers actually idle
+    in).
+    """
+
+    name: str
+    max_power_watts: float
+    fractions: Dict[PowerConfig, float]
+
+    def __post_init__(self) -> None:
+        missing = [c for c in PowerConfig if c not in self.fractions]
+        if missing:
+            raise ConfigurationError(
+                f"profile {self.name!r} missing configs: {missing}"
+            )
+        for config, value in self.fractions.items():
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"profile {self.name!r}: fraction for {config} out of "
+                    f"range: {value}"
+                )
+
+    def fraction(self, config: PowerConfig) -> float:
+        return self.fractions[config]
+
+    def watts(self, config: PowerConfig) -> float:
+        return self.fractions[config] * self.max_power_watts
+
+    @property
+    def idle_fraction(self) -> float:
+        return self.fractions[PowerConfig.S0_W_IB_OFF]
+
+
+#: HP Compaq Elite 8300 (Table 3, first row).  210 W nominal max draw.
+HP_PROFILE = MachineProfile(
+    name="HP",
+    max_power_watts=210.0,
+    fractions={
+        PowerConfig.S0_WO_IB: 0.4616,
+        PowerConfig.S0_W_IB_OFF: 0.5220,
+        PowerConfig.S0_W_IB_ON: 0.5384,
+        PowerConfig.S3_WO_IB: 0.0423,
+        PowerConfig.S3_W_IB: 0.1103,
+        PowerConfig.S4_WO_IB: 0.0019,
+        PowerConfig.S4_W_IB: 0.0681,
+    },
+)
+
+#: Dell Precision Tower 5810 (Table 3, second row).  425 W nominal max draw.
+DELL_PROFILE = MachineProfile(
+    name="Dell",
+    max_power_watts=425.0,
+    fractions={
+        PowerConfig.S0_WO_IB: 0.3535,
+        PowerConfig.S0_W_IB_OFF: 0.4233,
+        PowerConfig.S0_W_IB_ON: 0.4477,
+        PowerConfig.S3_WO_IB: 0.0197,
+        PowerConfig.S3_W_IB: 0.0871,
+        PowerConfig.S4_WO_IB: 0.0112,
+        PowerConfig.S4_W_IB: 0.0831,
+    },
+)
+
+PROFILES: Dict[str, MachineProfile] = {
+    "HP": HP_PROFILE,
+    "Dell": DELL_PROFILE,
+}

@@ -1,0 +1,344 @@
+"""The modified KVM: hypervisor paging between local frames and remote memory.
+
+This is the paper's *RAM Ext* implementation (Section 4.5).  Each VM gets
+``LocalMemSize`` of machine frames; the page-fault handler allocates frames
+on demand, and when the local quota is exhausted it picks a victim with the
+VM's replacement policy, demotes it to a remote buffer over a one-sided RDMA
+WRITE, and (on a later fault) promotes it back with a READ.  Hot pages stay
+local; cold pages drift to the zombie pool.
+
+Every operation returns its simulated cost in seconds so workload drivers
+can integrate execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError, HypervisorError, SwapError
+from repro.memory.buffers import RemotePageStore
+from repro.memory.frames import FrameAllocator
+from repro.memory.page_table import PageLocation
+from repro.memory.replacement import make_policy
+from repro.hypervisor.vm import Vm, VmSpec, VmState
+from repro.units import MICROSECOND, NANOSECOND, PAGE_SIZE, pages
+
+#: Cost of a local (resident) page access, seconds.  DRAM + TLB ballpark.
+LOCAL_ACCESS_S = 80 * NANOSECOND
+#: VM-exit + fault-handler entry/exit overhead, seconds.
+FAULT_BASE_S = 1.5 * MICROSECOND
+#: CPU frequency used to convert replacement-policy cycles into seconds.
+CPU_HZ = 2.5e9
+
+
+@dataclass
+class AccessStats:
+    """Per-VM paging counters."""
+
+    accesses: int = 0
+    page_faults: int = 0
+    demand_allocs: int = 0     # first-touch faults (no content to fetch)
+    remote_fills: int = 0      # faults served by reading a remote slot
+    prefetches: int = 0        # pages pulled in by sequential readahead
+    evictions: int = 0
+    policy_cycles: int = 0
+    time_total_s: float = 0.0
+    time_faults_s: float = 0.0
+
+    @property
+    def fault_rate(self) -> float:
+        return self.page_faults / self.accesses if self.accesses else 0.0
+
+    @property
+    def cycles_per_fault(self) -> float:
+        return self.policy_cycles / self.page_faults if self.page_faults else 0.0
+
+
+class Hypervisor:
+    """One host's modified KVM instance.
+
+    ``allocator`` covers the host's local RAM.  Each VM carries its own
+    local-frame quota, replacement policy and remote page store (the buffers
+    the rack controller granted it via ``GS_alloc_ext``).
+    """
+
+    def __init__(self, host: str, allocator: FrameAllocator,
+                 content_mode: bool = False,
+                 prefetch_window: int = 0):
+        self.host = host
+        self.allocator = allocator
+        #: Sequential readahead: after two consecutive remote fills of
+        #: adjacent pages, pull up to this many following remote pages in
+        #: one batched transfer (0 = off, the paper's configuration).
+        self.prefetch_window = prefetch_window
+        self._last_fill: Dict[str, int] = {}
+        #: With ``content_mode`` on, guest page contents are tracked and
+        #: round-tripped byte-for-byte through the remote store (slower;
+        #: used by integrity tests and demos).
+        self.content_mode = content_mode
+        self.vms: Dict[str, Vm] = {}
+        self._stores: Dict[str, Optional[RemotePageStore]] = {}
+        self._stats: Dict[str, AccessStats] = {}
+        self._contents: Dict[str, Dict[int, bytes]] = {}
+
+    # -- VM lifecycle ---------------------------------------------------
+    def create_vm(self, spec: VmSpec, local_bytes: int,
+                  store: Optional[RemotePageStore] = None,
+                  policy: str = "Mixed", **policy_kwargs) -> Vm:
+        """Start a VM with ``local_bytes`` of local RAM quota.
+
+        If ``local_bytes < spec.memory_bytes`` the remainder must be covered
+        by ``store`` (remote buffers); otherwise ``store`` may be None.
+        """
+        if spec.name in self.vms:
+            raise HypervisorError(f"{self.host}: duplicate VM {spec.name!r}")
+        local_pages = pages(local_bytes)
+        if local_pages > self.allocator.free_frames:
+            raise HypervisorError(
+                f"{self.host}: {local_pages} frames requested, only "
+                f"{self.allocator.free_frames} free"
+            )
+        if local_bytes < spec.memory_bytes:
+            if store is None:
+                raise ConfigurationError(
+                    f"VM {spec.name!r}: needs remote memory but no store given"
+                )
+            needed = spec.total_pages - local_pages
+            if store.total_slots < needed:
+                raise ConfigurationError(
+                    f"VM {spec.name!r}: store holds {store.total_slots} "
+                    f"slots, {needed} needed"
+                )
+        vm = Vm(spec, min(local_bytes, spec.memory_bytes),
+                make_policy(policy, **policy_kwargs))
+        vm.transition(VmState.RUNNING)
+        self.vms[spec.name] = vm
+        self._stores[spec.name] = store
+        self._stats[spec.name] = AccessStats()
+        self._contents[spec.name] = {}
+        return vm
+
+    def destroy_vm(self, name: str) -> None:
+        vm = self.vms.pop(name, None)
+        if vm is None:
+            raise HypervisorError(f"{self.host}: unknown VM {name!r}")
+        if vm.state is not VmState.STOPPED:
+            vm.transition(VmState.STOPPED)
+        for entry in list(vm.table.resident()):
+            frame = vm.table.discard(entry.ppn)
+            if frame is not None:
+                self.allocator.free(frame)
+        self._stores.pop(name, None)
+        self._stats.pop(name, None)
+        self._contents.pop(name, None)
+
+    def release_vm(self, name: str):
+        """Detach a VM for migration: free its local frames, keep state.
+
+        Returns ``(vm, store, stats, contents)``; the page table keeps its
+        entries (resident entries lose their frames — the destination
+        re-backs them after the hot-page copy), and ``contents`` is the
+        content-mode page map (empty when content tracking is off).
+        """
+        vm = self.vms.pop(name, None)
+        if vm is None:
+            raise HypervisorError(f"{self.host}: unknown VM {name!r}")
+        for entry in vm.table.resident():
+            if entry.frame is not None:
+                self.allocator.free(entry.frame)
+                entry.frame = None
+        vm.local_frames_used = 0
+        store = self._stores.pop(name, None)
+        stats = self._stats.pop(name)
+        return vm, store, stats, self._contents.pop(name, {})
+
+    def adopt_vm(self, vm: Vm, store, stats: "AccessStats",
+                 contents: Optional[Dict[int, bytes]] = None) -> Vm:
+        """Attach a migrated-in VM: back its resident pages with frames."""
+        if vm.name in self.vms:
+            raise HypervisorError(f"{self.host}: duplicate VM {vm.name!r}")
+        resident = vm.table.resident_pages
+        if resident > self.allocator.free_frames:
+            raise HypervisorError(
+                f"{self.host}: {resident} frames needed for migrated VM "
+                f"{vm.name!r}, only {self.allocator.free_frames} free"
+            )
+        frames = self.allocator.alloc_many(resident)
+        for entry, frame in zip(vm.table.resident(), frames):
+            entry.frame = frame
+        vm.local_frames_used = resident
+        self.vms[vm.name] = vm
+        self._stores[vm.name] = store
+        self._stats[vm.name] = stats
+        self._contents[vm.name] = contents or {}
+        return vm
+
+    def stats(self, name: str) -> AccessStats:
+        try:
+            return self._stats[name]
+        except KeyError:
+            raise HypervisorError(f"{self.host}: unknown VM {name!r}") from None
+
+    def store_for(self, name: str) -> Optional[RemotePageStore]:
+        return self._stores.get(name)
+
+    # -- the data path ------------------------------------------------------
+    def access(self, vm: Vm, ppn: int, write: bool = False) -> float:
+        """One guest access to pseudo-physical page ``ppn``.
+
+        Returns the simulated time the access took (local hit, or the full
+        fault path: policy + eviction + remote fill).
+        """
+        stats = self._stats[vm.name]
+        stats.accesses += 1
+        entry = vm.table.entry(ppn)
+        if entry.location is PageLocation.LOCAL:
+            entry.accessed_epoch = vm.table.epoch
+            if write:
+                entry.dirty = True
+            stats.time_total_s += LOCAL_ACCESS_S
+            return LOCAL_ACCESS_S
+        cost = self._handle_fault(vm, ppn, stats)
+        if write:
+            vm.table.entry(ppn).dirty = True
+        stats.time_total_s += cost
+        stats.time_faults_s += cost
+        return cost
+
+    def write_page(self, vm: Vm, ppn: int, data: bytes) -> float:
+        """Content-mode write: store ``data`` as the page's content.
+
+        Requires ``content_mode``; faults the page in first if needed.
+        """
+        if not self.content_mode:
+            raise HypervisorError(f"{self.host}: content_mode is off")
+        cost = self.access(vm, ppn, write=True)
+        self._contents[vm.name][ppn] = bytes(data)
+        return cost
+
+    def read_page(self, vm: Vm, ppn: int) -> bytes:
+        """Content-mode read: the page's current content (faults it in)."""
+        if not self.content_mode:
+            raise HypervisorError(f"{self.host}: content_mode is off")
+        self.access(vm, ppn)
+        return self._contents[vm.name].get(ppn, b"")
+
+    def _handle_fault(self, vm: Vm, ppn: int, stats: AccessStats) -> float:
+        """The paper's fault handler: free a frame if needed, then fill."""
+        stats.page_faults += 1
+        cost = FAULT_BASE_S
+        store = self._stores[vm.name]
+
+        # Step 1: if the page lives remotely, fetch it and release its slot
+        # first — the freed slot guarantees the eviction below can store its
+        # victim even when the remote allocation is exactly sized.
+        entry = vm.table.entry(ppn)
+        was_remote_fill = entry.location is PageLocation.REMOTE
+        if entry.location is PageLocation.REMOTE:
+            assert store is not None
+            data, elapsed = store.load(entry.remote_slot)
+            store.free(entry.remote_slot)
+            cost += elapsed
+            stats.remote_fills += 1
+            if self.content_mode:
+                expected = self._contents[vm.name].get(ppn)
+                if expected is not None and store.transfer_content:
+                    got = data[:len(expected)]
+                    if got != expected:
+                        raise HypervisorError(
+                            f"VM {vm.name!r} ppn {ppn}: remote fill "
+                            "returned corrupted content"
+                        )
+        else:
+            stats.demand_allocs += 1
+
+        # Step 2: get a machine frame, evicting if the quota is exhausted.
+        if vm.local_frames_used < vm.local_frames_limit:
+            frame = self.allocator.alloc()
+            vm.local_frames_used += 1
+        else:
+            cost += self._evict_one(vm, stats)
+            frame = self.allocator.alloc()
+            vm.local_frames_used += 1
+
+        vm.table.map_local(ppn, frame)
+        vm.policy.note_resident(ppn)
+        if was_remote_fill:
+            if (self.prefetch_window
+                    and self._last_fill.get(vm.name) == ppn - 1):
+                cost += self._prefetch(vm, ppn, stats)
+            self._last_fill[vm.name] = ppn
+        return cost
+
+    def _prefetch(self, vm: Vm, ppn: int, stats: AccessStats) -> float:
+        """Sequential readahead: batch-fill the next remote pages.
+
+        The batch shares one wire latency, so each extra page costs only
+        its bandwidth share — the win over demand faulting one by one.
+        """
+        store = self._stores[vm.name]
+        costs = store.node.fabric.costs
+        per_page_wire = PAGE_SIZE / costs.bandwidth_bytes_per_s
+        cost = 0.0
+        for next_ppn in range(ppn + 1,
+                              min(ppn + 1 + self.prefetch_window,
+                                  vm.spec.total_pages)):
+            entry = vm.table.entry(next_ppn)
+            if entry.location is not PageLocation.REMOTE:
+                break
+            data, _ = store.load(entry.remote_slot)
+            store.free(entry.remote_slot)
+            if vm.local_frames_used >= vm.local_frames_limit:
+                # Readahead under memory pressure reclaims like Linux's
+                # does; the batch is bounded so the churn is too.
+                cost += self._evict_one(vm, stats)
+            frame = self.allocator.alloc()
+            vm.local_frames_used += 1
+            vm.table.map_local(next_ppn, frame)
+            vm.policy.note_resident(next_ppn)
+            stats.prefetches += 1
+            cost += per_page_wire  # latency already paid by the batch head
+        return cost
+
+    def _evict_one(self, vm: Vm, stats: AccessStats) -> float:
+        """Demote one victim page to the remote store."""
+        store = self._stores[vm.name]
+        if store is None:
+            raise HypervisorError(
+                f"VM {vm.name!r}: local quota exhausted and no remote store"
+            )
+        before = vm.policy.cycles_total
+        victim = vm.policy.select_victim(vm.table)
+        spent_cycles = vm.policy.cycles_total - before
+        stats.policy_cycles += spent_cycles
+        payload = None
+        if self.content_mode:
+            payload = self._contents[vm.name].get(victim)
+        try:
+            handle, elapsed = store.store(payload)
+        except SwapError:
+            # All remote slots gone (a reclaim just revoked buffers):
+            # demote to the local-storage mirror, the paper's slow path.
+            handle, elapsed = store.store_fallback(payload)
+        frame = vm.table.demote(victim, handle)
+        self.allocator.free(frame)
+        vm.local_frames_used -= 1
+        stats.evictions += 1
+        return spent_cycles / CPU_HZ + elapsed
+
+    # -- host-level views ----------------------------------------------------
+    @property
+    def free_frames(self) -> int:
+        return self.allocator.free_frames
+
+    @property
+    def vcpus_booked(self) -> int:
+        """Total vCPUs booked by resident VMs."""
+        return sum(vm.spec.vcpus for vm in self.vms.values())
+
+    def resident_pages(self, name: str) -> int:
+        return self.vms[name].table.resident_pages
+
+    def remote_pages(self, name: str) -> int:
+        return self.vms[name].table.remote_pages

@@ -1,0 +1,97 @@
+"""Virtual machines: specification, lifecycle, and paging state.
+
+A VM reserves ``memory_bytes`` of pseudo-physical memory (``VMMemSize``).
+Under RAM Ext the hypervisor backs only ``local_bytes`` of it with machine
+frames (``LocalMemSize``); the rest lives in remote buffers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, VmStateError
+from repro.memory.page_table import PageTable
+from repro.memory.replacement import ReplacementPolicy
+from repro.units import pages
+
+
+class VmState(enum.Enum):
+    """VM lifecycle states."""
+
+    BUILDING = "building"
+    RUNNING = "running"
+    PAUSED = "paused"
+    MIGRATING = "migrating"
+    STOPPED = "stopped"
+
+
+_ALLOWED = {
+    VmState.BUILDING: {VmState.RUNNING, VmState.STOPPED},
+    VmState.RUNNING: {VmState.PAUSED, VmState.MIGRATING, VmState.STOPPED},
+    VmState.PAUSED: {VmState.RUNNING, VmState.MIGRATING, VmState.STOPPED},
+    VmState.MIGRATING: {VmState.RUNNING, VmState.STOPPED},
+    VmState.STOPPED: set(),
+}
+
+
+@dataclass(frozen=True)
+class VmSpec:
+    """What the tenant booked: name, reserved memory, vCPUs."""
+
+    name: str
+    memory_bytes: int
+    vcpus: int = 8  # the paper: "every VM uses 8 processors"
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigurationError(
+                f"VM {self.name!r}: memory must be positive"
+            )
+        if self.vcpus <= 0:
+            raise ConfigurationError(f"VM {self.name!r}: vcpus must be positive")
+
+    @property
+    def total_pages(self) -> int:
+        return pages(self.memory_bytes)
+
+
+class Vm:
+    """A VM instance attached to a hypervisor."""
+
+    def __init__(self, spec: VmSpec, local_bytes: int,
+                 policy: ReplacementPolicy):
+        if local_bytes < 0 or local_bytes > spec.memory_bytes:
+            raise ConfigurationError(
+                f"VM {spec.name!r}: local_bytes {local_bytes} out of "
+                f"[0, {spec.memory_bytes}]"
+            )
+        self.spec = spec
+        self.local_frames_limit = pages(local_bytes) if local_bytes else 0
+        self.policy = policy
+        self.table = PageTable(spec.total_pages)
+        self.state = VmState.BUILDING
+        self.local_frames_used = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def local_fraction(self) -> float:
+        """LocalMemSize / VMMemSize."""
+        return self.local_frames_limit / self.spec.total_pages
+
+    def transition(self, new_state: VmState) -> None:
+        if new_state not in _ALLOWED[self.state]:
+            raise VmStateError(
+                f"VM {self.name!r}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    def require_running(self) -> None:
+        if self.state is not VmState.RUNNING:
+            raise VmStateError(
+                f"VM {self.name!r} is {self.state.value}, not running"
+            )

@@ -1,0 +1,88 @@
+"""Working-set-size estimation from accessed-bit sampling.
+
+Neat's modified placement rule ("only check if 30% of the VM's working set
+size is available on the target server") presupposes someone *measures* the
+working set.  The standard technique — and what the hypervisor's page-table
+accessed bits make nearly free — is periodic bit sampling: clear all bits,
+let the VM run an interval, count how many pages were touched.  The
+estimator keeps an exponentially-weighted average over sampling windows so
+one quiet interval does not collapse the estimate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hypervisor.vm import Vm
+from repro.memory.page_table import PageLocation
+from repro.units import PAGE_SIZE
+
+
+class WssEstimator:
+    """Accessed-bit-sampling WSS estimator for one VM."""
+
+    def __init__(self, vm: Vm, alpha: float = 0.3):
+        """``alpha`` is the EWMA weight of the newest sample."""
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha out of (0,1]: {alpha}")
+        self.vm = vm
+        self.alpha = alpha
+        self.samples: List[int] = []
+        self._ewma: Optional[float] = None
+        self._begin_epoch: Optional[int] = None
+
+    # -- sampling protocol ---------------------------------------------------
+    def begin_window(self) -> None:
+        """Start a sampling window: clear (epoch-bump) the accessed bits."""
+        table = self.vm.table
+        table.clear_accessed_bits()
+        table.clear_accessed_bits()  # bits survive one epoch by design
+        self._begin_epoch = table.epoch
+
+    def end_window(self) -> int:
+        """Close the window; returns the pages touched during it.
+
+        Counts resident pages whose accessed bit was set since
+        :meth:`begin_window`, plus pages that were demoted or promoted in
+        between (a faulting page is by definition part of the working set).
+        """
+        if self._begin_epoch is None:
+            raise ConfigurationError("end_window() without begin_window()")
+        table = self.vm.table
+        touched = sum(1 for entry in table.resident()
+                      if entry.accessed_epoch >= self._begin_epoch)
+        self._begin_epoch = None
+        self.samples.append(touched)
+        if self._ewma is None:
+            self._ewma = float(touched)
+        else:
+            self._ewma = (self.alpha * touched
+                          + (1.0 - self.alpha) * self._ewma)
+        return touched
+
+    # -- readings ----------------------------------------------------------
+    @property
+    def wss_pages(self) -> int:
+        """Current working-set estimate in pages."""
+        if self._ewma is None:
+            # No sample yet: fall back to the resident set (conservative).
+            return self.vm.table.resident_pages
+        return int(round(self._ewma))
+
+    @property
+    def wss_bytes(self) -> int:
+        return self.wss_pages * PAGE_SIZE
+
+    @property
+    def wss_fraction(self) -> float:
+        """WSS as a fraction of the VM's reserved memory."""
+        return self.wss_pages / self.vm.spec.total_pages
+
+    def placement_requirement(self, local_fraction: float = 0.3) -> int:
+        """Bytes a migration target must hold locally (the 30 % rule)."""
+        if not 0.0 < local_fraction <= 1.0:
+            raise ConfigurationError(
+                f"local_fraction out of (0,1]: {local_fraction}"
+            )
+        return int(self.wss_bytes * local_fraction)

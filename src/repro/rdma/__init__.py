@@ -1,0 +1,23 @@
+"""A software RDMA fabric standing in for the Mellanox Infiniband testbed.
+
+The fabric provides exactly the primitives the rack layer needs:
+
+- registered memory regions with rkeys (:mod:`~repro.rdma.verbs`);
+- one-sided READ/WRITE verbs that complete *without remote CPU involvement*
+  — the property that lets a zombie server serve its memory;
+- two-sided RPC-over-RDMA with client-side polling
+  (:mod:`~repro.rdma.rpc`), which *does* require the remote CPU and
+  therefore fails against a zombie — the model enforces the asymmetry;
+- a calibrated cost model (:mod:`~repro.rdma.costs`) so callers can account
+  simulated time for every operation.
+"""
+
+from repro.rdma.costs import RdmaCostModel
+from repro.rdma.fabric import Fabric, RdmaNode
+from repro.rdma.verbs import MemoryRegion, QueuePair, QpState
+from repro.rdma.rpc import RpcServer, RpcClient
+
+__all__ = [
+    "RdmaCostModel", "Fabric", "RdmaNode", "MemoryRegion", "QueuePair",
+    "QpState", "RpcServer", "RpcClient",
+]

@@ -1,0 +1,224 @@
+"""The rack fabric: nodes, one-sided verbs, and access gating.
+
+The key semantic carried here is the Sz asymmetry:
+
+- a one-sided READ/WRITE needs the *initiator's* CPU (to post the work
+  request) and the *target's* NIC-to-DRAM path — not the target's CPU.
+  A zombie target therefore serves one-sided verbs.
+- anything requiring target CPU (RPC dispatch) is modelled in
+  :mod:`~repro.rdma.rpc` and refuses zombie targets.
+
+Each node may be bound to a :class:`~repro.acpi.platform.ServerPlatform`;
+the fabric then consults the platform's power state for gating.  Unbound
+nodes (unit tests, controllers modelled without a board) are always up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.acpi.platform import ServerPlatform
+from repro.errors import RdmaError
+from repro.rdma.costs import RdmaCostModel
+from repro.rdma.verbs import (AccessFlags, MemoryRegion, ProtectionDomain,
+                              QueuePair)
+
+
+@dataclass
+class FabricStats:
+    """Aggregate fabric counters."""
+
+    reads: int = 0
+    writes: int = 0
+    rpcs: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.reads = self.writes = self.rpcs = 0
+        self.bytes_read = self.bytes_written = 0
+        self.busy_seconds = 0.0
+
+
+class RdmaNode:
+    """One server's presence on the fabric: its PD, MRs and QPs."""
+
+    def __init__(self, name: str, fabric: "Fabric",
+                 platform: Optional[ServerPlatform] = None):
+        self.name = name
+        self.fabric = fabric
+        self.platform = platform
+        self.pd = ProtectionDomain(name)
+
+    # -- power gating -----------------------------------------------------
+    @property
+    def cpu_alive(self) -> bool:
+        return self.platform is None or self.platform.state.cpu_alive
+
+    @property
+    def memory_reachable(self) -> bool:
+        """Whether remote peers can DMA into this node's DRAM right now.
+
+        Reads the platform's cached flag (refreshed on every power
+        transition) so the per-verb check is O(1).
+        """
+        if self.platform is None:
+            return True
+        return self.platform.remote_ok
+
+    # -- MR / QP management -------------------------------------------------
+    def register_mr(self, length: int,
+                    access: AccessFlags = AccessFlags.all_access()) -> MemoryRegion:
+        return self.pd.register(length, access)
+
+    def deregister_mr(self, rkey: int) -> None:
+        self.pd.deregister(rkey)
+
+    def connect_qp(self, remote: str) -> QueuePair:
+        if remote not in self.fabric.nodes:
+            raise RdmaError(f"{self.name}: unknown remote node {remote!r}")
+        qp = self.pd.create_qp(remote)
+        qp.connect()
+        return qp
+
+    # -- one-sided verbs -----------------------------------------------------
+    def rdma_read(self, qp: QueuePair, rkey: int, offset: int,
+                  length: int) -> bytes:
+        """One-sided READ from the remote MR.  No remote CPU involved."""
+        payload, _ = self.rdma_read_timed(qp, rkey, offset, length)
+        return payload
+
+    def rdma_read_timed(self, qp: QueuePair, rkey: int, offset: int,
+                        length: int):
+        """READ returning ``(payload, elapsed_seconds)``."""
+        self._pre_verb(qp)
+        target = self.fabric.node(qp.remote)
+        self._require_target_memory(target)
+        mr = target.pd.lookup(rkey)
+        payload = mr.read(offset, length)
+        elapsed = self.fabric.costs.transfer_time(length)
+        self._post_verb(qp, elapsed)
+        self.fabric.stats.reads += 1
+        self.fabric.stats.bytes_read += length
+        return payload, elapsed
+
+    def rdma_write(self, qp: QueuePair, rkey: int, offset: int,
+                   payload: bytes) -> None:
+        """One-sided WRITE into the remote MR.  No remote CPU involved."""
+        self.rdma_write_timed(qp, rkey, offset, payload)
+
+    def rdma_write_timed(self, qp: QueuePair, rkey: int, offset: int,
+                         payload: bytes) -> float:
+        """WRITE returning the elapsed seconds."""
+        self._pre_verb(qp)
+        target = self.fabric.node(qp.remote)
+        self._require_target_memory(target)
+        mr = target.pd.lookup(rkey)
+        mr.write(offset, payload)
+        elapsed = self.fabric.costs.transfer_time(len(payload))
+        self._post_verb(qp, elapsed)
+        self.fabric.stats.writes += 1
+        self.fabric.stats.bytes_written += len(payload)
+        return elapsed
+
+    # -- helpers ---------------------------------------------------------
+    def _pre_verb(self, qp: QueuePair) -> None:
+        qp.require_rts()
+        self.fabric.require_reachable(self.name)
+        self.fabric.require_reachable(qp.remote)
+        if qp.local != self.name:
+            raise RdmaError(
+                f"{self.name}: QP{qp.qp_num} belongs to {qp.local!r}"
+            )
+        if not self.cpu_alive:
+            raise RdmaError(
+                f"{self.name}: cannot post work requests while suspended "
+                "(initiator CPU required)"
+            )
+
+    def _require_target_memory(self, target: "RdmaNode") -> None:
+        if not target.memory_reachable:
+            state = target.platform.state if target.platform else "?"
+            raise RdmaError(
+                f"{target.name}: memory not remotely accessible "
+                f"(state {state}); one-sided verbs need the Sz or S0 "
+                "NIC-to-DRAM path"
+            )
+
+    def _post_verb(self, qp: QueuePair, elapsed: float) -> None:
+        qp.posted_sends += 1
+        qp.completions += 1
+        self.fabric.stats.busy_seconds += elapsed
+
+
+class Fabric:
+    """The rack switch: a name → node directory plus shared cost model.
+
+    Also the fault-injection point: :meth:`partition` makes a node
+    unreachable (link/switch-port failure) without touching its power
+    state, and :meth:`wake_on_lan` delivers the magic packet a suspended
+    server's NIC listens for.
+    """
+
+    def __init__(self, costs: Optional[RdmaCostModel] = None):
+        self.costs = costs or RdmaCostModel()
+        self.nodes: Dict[str, RdmaNode] = {}
+        self.stats = FabricStats()
+        self.partitioned: set = set()
+
+    def add_node(self, name: str,
+                 platform: Optional[ServerPlatform] = None) -> RdmaNode:
+        if name in self.nodes:
+            raise RdmaError(f"duplicate fabric node {name!r}")
+        node = RdmaNode(name, self, platform)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> RdmaNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise RdmaError(f"unknown fabric node {name!r}") from None
+
+    def remove_node(self, name: str) -> None:
+        if name not in self.nodes:
+            raise RdmaError(f"unknown fabric node {name!r}")
+        del self.nodes[name]
+
+    # -- fault injection ---------------------------------------------------
+    def partition(self, name: str) -> None:
+        """Cut a node off the switch (fails its verbs and RPCs)."""
+        self.node(name)  # validate
+        self.partitioned.add(name)
+
+    def heal(self, name: str) -> None:
+        """Reconnect a partitioned node."""
+        self.partitioned.discard(name)
+
+    def require_reachable(self, name: str) -> None:
+        if name in self.partitioned:
+            raise RdmaError(f"{name}: fabric link down (partitioned)")
+
+    # -- Wake-on-LAN --------------------------------------------------------
+    def wake_on_lan(self, name: str) -> float:
+        """Send the WoL magic packet to ``name``; returns resume latency.
+
+        Works against any state whose NIC keeps aux power (S3, S4, Sz);
+        S5 platforms (NIC in D3cold) ignore the packet.
+        """
+        self.require_reachable(name)
+        target = self.node(name)
+        if target.platform is None:
+            return 0.0  # not power-modelled: treat as always awake
+        platform = target.platform
+        if platform.state.cpu_alive:
+            return 0.0
+        nic = platform.infiniband
+        if nic is None or nic.power_draw() <= 0.0:
+            raise RdmaError(
+                f"{name}: NIC has no standby power in "
+                f"{platform.state.value}; WoL packet lost"
+            )
+        return platform.wake()

@@ -1,0 +1,104 @@
+"""RPC over RDMA with client-side polling.
+
+The paper's control plane (remote-mem-mgr ↔ global-mem-ctr) runs RPC over
+RDMA, with clients *polling* for results because inbound RDMA operations are
+cheaper than outbound ones.  Unlike one-sided verbs, an RPC needs the server
+CPU to dispatch the handler, so a zombie server cannot answer — this module
+enforces that, which is exactly why controllers stay in S0.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import RpcError, RpcTimeoutError
+from repro.rdma.fabric import RdmaNode
+
+Handler = Callable[..., Any]
+
+
+class RpcServer:
+    """A dispatch table served from one fabric node's daemon."""
+
+    def __init__(self, node: RdmaNode):
+        self.node = node
+        self.handlers: Dict[str, Handler] = {}
+        self.calls_served = 0
+
+    def register(self, method: str, handler: Handler) -> None:
+        if method in self.handlers:
+            raise RpcError(f"{self.node.name}: duplicate RPC method {method!r}")
+        self.handlers[method] = handler
+
+    def unregister(self, method: str) -> None:
+        if method not in self.handlers:
+            raise RpcError(f"{self.node.name}: unknown RPC method {method!r}")
+        del self.handlers[method]
+
+    def dispatch(self, method: str, args: tuple, kwargs: dict) -> Any:
+        """Server-side dispatch; requires a live CPU."""
+        if not self.node.cpu_alive:
+            raise RpcTimeoutError(
+                f"{self.node.name}: server suspended, RPC daemon not running"
+            )
+        handler = self.handlers.get(method)
+        if handler is None:
+            raise RpcError(f"{self.node.name}: unknown RPC method {method!r}")
+        self.calls_served += 1
+        return handler(*args, **kwargs)
+
+
+class RpcClient:
+    """Client endpoint: sends a request, then polls for the response."""
+
+    def __init__(self, node: RdmaNode, server: RpcServer,
+                 timeout_s: float = 1.0):
+        self.node = node
+        self.server = server
+        self.timeout_s = timeout_s
+        self.calls_made = 0
+        self.polls = 0
+        self.time_spent_s = 0.0
+        self._qp = node.connect_qp(server.node.name)
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``method`` on the server; returns its result.
+
+        Raises :class:`RpcTimeoutError` if the server CPU is down (the
+        client's polls never observe a response).
+        """
+        result, _ = self.call_timed(method, *args, **kwargs)
+        return result
+
+    def call_timed(self, method: str, *args: Any,
+                   **kwargs: Any) -> Tuple[Any, float]:
+        """Like :meth:`call` but also returns the simulated elapsed time."""
+        if not self.node.cpu_alive:
+            raise RpcError(f"{self.node.name}: client CPU suspended")
+        self.node.fabric.require_reachable(self.node.name)
+        costs = self.node.fabric.costs
+        self.calls_made += 1
+        fabric = self.node.fabric
+        if (self.server.node.name in fabric.partitioned
+                or not self.server.node.cpu_alive):
+            # The request lands in the server's receive ring, but no daemon
+            # runs; the client polls until its deadline passes.
+            wasted_polls = max(1, int(self.timeout_s / costs.poll_interval_s))
+            self.polls += wasted_polls
+            self.time_spent_s += self.timeout_s
+            raise RpcTimeoutError(
+                f"RPC {method!r} to {self.server.node.name} timed out after "
+                f"{self.timeout_s}s (server suspended)"
+            )
+        result = self.server.dispatch(method, args, kwargs)
+        elapsed = costs.rpc_time()
+        # Model the polling loop: at least one poll observes completion.
+        poll_count = max(1, int(elapsed / costs.poll_interval_s))
+        self.polls += poll_count
+        self.time_spent_s += elapsed
+        self.node.fabric.stats.rpcs += 1
+        self.node.fabric.stats.busy_seconds += elapsed
+        return result, elapsed
+
+    def close(self) -> None:
+        self.node.pd.destroy_qp(self._qp.qp_num)

@@ -1,0 +1,13 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately small: a priority queue of timestamped callbacks,
+a simulated clock, and helpers for periodic processes.  Everything in the
+library that needs time (heartbeats, migrations, the datacenter energy
+simulation) runs on top of :class:`~repro.sim.engine.Engine`.
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import DeterministicRng
+
+__all__ = ["Engine", "Event", "PeriodicProcess", "DeterministicRng"]

@@ -1,0 +1,114 @@
+"""The discrete-event engine: a clock plus an ordered queue of callbacks.
+
+Events scheduled for the same instant fire in scheduling order, which keeps
+simulations deterministic without relying on callback identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so the heap pops them in schedule
+    order; the callback itself never participates in comparisons.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; cancelling twice is harmless."""
+        self.cancelled = True
+
+
+class Engine:
+    """A minimal deterministic discrete-event simulator."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when}, clock is already at {self._now}"
+            )
+        event = Event(time=when, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        Returns the number of events executed.  ``max_events`` bounds runaway
+        simulations (a callback that keeps rescheduling itself forever).
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if self.step():
+                    executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def advance(self, delay: float) -> int:
+        """Run everything scheduled within the next ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot advance by negative delay {delay}")
+        return self.run(until=self._now + delay)
+
+    def pending(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,40 @@
+"""Trace transforms.
+
+The paper derives a second trace set "in which the memory demand is twice
+the CPU demand, as the actual trends reveal" — the Fig. 10 (bottom)
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from repro.errors import TraceFormatError
+from repro.traces.schema import Task
+
+
+def double_memory_demand(tasks: List[Task]) -> List[Task]:
+    """The paper's modified trace: memory demand = 2 × CPU demand."""
+    return scale_demand(tasks, mem_to_cpu=2.0)
+
+
+def scale_demand(tasks: List[Task], mem_to_cpu: float) -> List[Task]:
+    """Rescale each task's memory so booked memory = ``mem_to_cpu`` × CPU.
+
+    Usage keeps its booked-to-used ratio.  Memory is capped at a full
+    server (a task cannot book more memory than one machine holds).
+    """
+    if mem_to_cpu <= 0:
+        raise TraceFormatError(f"mem_to_cpu must be positive: {mem_to_cpu}")
+    out: List[Task] = []
+    for task in tasks:
+        usage_ratio = (task.mem_usage / task.mem_request
+                       if task.mem_request > 0 else 0.0)
+        new_request = min(0.95, task.cpu_request * mem_to_cpu)
+        out.append(replace(
+            task,
+            mem_request=round(new_request, 6),
+            mem_usage=round(new_request * usage_ratio, 6),
+        ))
+    return out

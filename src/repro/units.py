@@ -1,0 +1,77 @@
+"""Units and constants shared across the library.
+
+All memory sizes are plain ``int`` bytes, all times are ``float`` seconds and
+all energies are ``float`` joules unless a name says otherwise.  Helper
+constants keep call sites readable (``4 * GiB`` instead of ``4294967296``).
+"""
+
+from __future__ import annotations
+
+# --- memory sizes -----------------------------------------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+#: The x86 base page size used throughout the paging model.
+PAGE_SIZE = 4 * KiB
+
+#: Rack-wide remote-memory buffer size (the paper's ``BUFF_SIZE``).  The value
+#: is uniform across the entire rack; 64 MiB keeps the buffer database small
+#: while remaining fine-grained enough for reclaim.
+DEFAULT_BUFF_SIZE = 64 * MiB
+
+# --- time -------------------------------------------------------------------
+NANOSECOND = 1e-9
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+# --- energy / power ---------------------------------------------------------
+JOULE = 1.0
+WATT = 1.0  # J/s
+KILOWATT = 1e3
+#: 1 kWh in joules.
+KILOWATT_HOUR = 3.6e6
+
+
+def pages(size_bytes: int) -> int:
+    """Number of :data:`PAGE_SIZE` pages needed to hold ``size_bytes``.
+
+    Rounds up, so any non-zero size needs at least one page.
+    """
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    return (size_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def buffers_for(size_bytes: int, buff_size: int = DEFAULT_BUFF_SIZE) -> int:
+    """Number of rack buffers of ``buff_size`` needed to back ``size_bytes``."""
+    if buff_size <= 0:
+        raise ValueError(f"buff_size must be positive, got {buff_size}")
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    return (size_bytes + buff_size - 1) // buff_size
+
+
+def fmt_size(size_bytes: float) -> str:
+    """Human-readable rendering of a byte count (``'6.0 GiB'``)."""
+    size = float(size_bytes)
+    for unit, name in ((TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if abs(size) >= unit:
+            return f"{size / unit:.1f} {name}"
+    return f"{size:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable rendering of a duration (``'12.3 ms'``)."""
+    if abs(seconds) >= 1.0:
+        return f"{seconds:.3g} s"
+    if abs(seconds) >= MILLISECOND:
+        return f"{seconds / MILLISECOND:.3g} ms"
+    if abs(seconds) >= MICROSECOND:
+        return f"{seconds / MICROSECOND:.3g} us"
+    return f"{seconds / NANOSECOND:.3g} ns"

@@ -1,0 +1,57 @@
+"""The paper's micro-benchmark.
+
+"An application which iterates and performs read/write operations on the
+entries of an array whose size is configured at start time.  Each entry
+represents a 4KB memory page.  The performance metric of this benchmark is
+the execution time."
+
+It is the worst-case application for remote memory: per-entry compute is
+tiny, so every fault is pure overhead.  The access structure is a sliding-
+window scan (see :func:`~repro.workloads.patterns.sliding_window_scan`)
+whose instantaneous working set is roughly half the array — which puts the
+thrashing cliff between 40 % and 50 % local memory, where Table 1 shows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import DeterministicRng
+from repro.units import NANOSECOND
+from repro.workloads.patterns import sliding_window_scan
+
+#: Per-entry computation: a couple of arithmetic ops on the entry.
+MICRO_COMPUTE_S = 150 * NANOSECOND
+
+
+@dataclass(frozen=True)
+class MicroBenchmark:
+    """Array-iteration micro-benchmark over ``wss_pages`` entries."""
+
+    wss_pages: int
+    window_frac: float = 0.46
+    slide_frac: float = 0.1
+    passes: int = 4
+    hot_frac: float = 0.05
+    hot_prob: float = 0.25
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.wss_pages <= 0:
+            raise ConfigurationError("wss_pages must be positive")
+
+    @property
+    def compute_s(self) -> float:
+        return MICRO_COMPUTE_S
+
+    def stream(self) -> Iterator[Tuple[int, bool]]:
+        """The deterministic access stream for one execution."""
+        rng = DeterministicRng(self.seed)
+        return sliding_window_scan(
+            self.wss_pages, rng,
+            window_frac=self.window_frac, slide_frac=self.slide_frac,
+            passes=self.passes, hot_frac=self.hot_frac,
+            hot_prob=self.hot_prob,
+        )

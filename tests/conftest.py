@@ -1,0 +1,33 @@
+"""Shared fixtures: small, fast environments for the whole suite."""
+
+import pytest
+
+from repro.acpi.platform import build_platform
+from repro.core.rack import Rack
+from repro.rdma.fabric import Fabric
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def platform():
+    """A 1 GiB Sz-capable server platform."""
+    return build_platform("test-server", memory_bytes=1 * GiB)
+
+
+@pytest.fixture
+def fabric():
+    return Fabric()
+
+
+@pytest.fixture
+def small_rack():
+    """Three 512 MiB servers with 16 MiB buffers — fast to build."""
+    return Rack(["s1", "s2", "s3"], memory_bytes=512 * MiB,
+                buff_size=16 * MiB)
+
+
+@pytest.fixture
+def rack_with_zombie(small_rack):
+    """The small rack with s3 already pushed to Sz."""
+    small_rack.make_zombie("s3")
+    return small_rack

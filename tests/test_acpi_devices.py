@@ -1,0 +1,105 @@
+"""Device D-states, DRAM refresh modes, the NIC DMA path."""
+
+import pytest
+
+from repro.acpi.devices import (Cpu, Device, DeviceState, InfinibandCard,
+                                MemoryBank, MemoryBankDevice,
+                                PcieRootComplex, StorageDevice)
+from repro.errors import DeviceStateError
+
+
+class TestDeviceStates:
+    def test_d0_is_operational(self):
+        assert DeviceState.D0.operational
+        assert not DeviceState.D3_HOT.operational
+
+    def test_power_by_state(self):
+        dev = Device("d", "periph", active_watts=10.0, idle_watts=4.0,
+                     d3hot_watts=1.0)
+        assert dev.power_draw() == 4.0  # D0 idle
+        dev.busy = True
+        assert dev.power_draw() == 10.0
+        dev.set_state(DeviceState.D3_HOT)
+        assert dev.power_draw() == 1.0
+        dev.set_state(DeviceState.D3_COLD)
+        assert dev.power_draw() == 0.0
+
+    def test_leaving_d0_clears_busy(self):
+        dev = Device("d", "periph", 10.0)
+        dev.busy = True
+        dev.set_state(DeviceState.D3_HOT)
+        assert not dev.busy
+
+    def test_require_operational(self):
+        dev = Device("d", "periph", 10.0)
+        dev.set_state(DeviceState.D3_COLD)
+        with pytest.raises(DeviceStateError):
+            dev.require_operational("work")
+
+
+class TestMemoryBank:
+    def test_active_idle_serves(self):
+        bank = MemoryBankDevice()
+        assert bank.serves_accesses
+        bank.access()  # must not raise
+
+    def test_self_refresh_retains_but_does_not_serve(self):
+        bank = MemoryBankDevice()
+        bank.enter_self_refresh()
+        assert bank.state.operational  # still powered
+        assert not bank.serves_accesses
+        with pytest.raises(DeviceStateError):
+            bank.access()
+
+    def test_self_refresh_draws_less(self):
+        bank = MemoryBankDevice()
+        idle = bank.power_draw()
+        bank.enter_self_refresh()
+        assert bank.power_draw() < idle
+
+    def test_mode_round_trip(self):
+        bank = MemoryBankDevice()
+        bank.enter_self_refresh()
+        bank.enter_active_idle()
+        assert bank.mode is MemoryBank.ACTIVE_IDLE
+        assert bank.serves_accesses
+
+    def test_powered_off_bank_cannot_serve(self):
+        bank = MemoryBankDevice()
+        bank.set_state(DeviceState.D3_COLD)
+        with pytest.raises(DeviceStateError):
+            bank.access()
+
+
+class TestInfinibandCard:
+    def test_dma_path_needs_card_and_bank(self):
+        nic = InfinibandCard()
+        bank = MemoryBankDevice()
+        nic.dma_to_memory(bank)  # ok in D0/active-idle
+
+    def test_dma_fails_with_card_in_wol(self):
+        nic = InfinibandCard()
+        nic.set_state(DeviceState.D3_HOT)
+        with pytest.raises(DeviceStateError):
+            nic.dma_to_memory(MemoryBankDevice())
+
+    def test_dma_fails_with_bank_in_self_refresh(self):
+        nic = InfinibandCard()
+        bank = MemoryBankDevice()
+        bank.enter_self_refresh()
+        with pytest.raises(DeviceStateError):
+            nic.dma_to_memory(bank)
+
+    def test_wol_standby_power_nonzero(self):
+        nic = InfinibandCard()
+        nic.set_state(DeviceState.D3_HOT)
+        assert 0.0 < nic.power_draw() < nic.idle_watts
+
+
+class TestDeviceCatalog:
+    def test_default_domains(self):
+        assert Cpu().domain == "cpu"
+        assert MemoryBankDevice().domain == "memory"
+        assert InfinibandCard().domain == "nic"
+        assert PcieRootComplex().domain == "nic"
+        assert StorageDevice().domain == "storage"

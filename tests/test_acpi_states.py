@@ -1,0 +1,58 @@
+"""The S-state set, including Sz semantics."""
+
+import pytest
+
+from repro.acpi.states import (SUSPEND_TARGETS, SYSFS_KEYWORDS, SleepState)
+
+
+class TestStateProperties:
+    def test_only_s0_runs_the_cpu(self):
+        assert SleepState.S0.cpu_alive
+        for state in (SleepState.S3, SleepState.S4, SleepState.S5,
+                      SleepState.SZ):
+            assert not state.cpu_alive
+
+    def test_memory_powered_states(self):
+        assert SleepState.S0.memory_powered
+        assert SleepState.S3.memory_powered
+        assert SleepState.SZ.memory_powered
+        assert not SleepState.S4.memory_powered
+        assert not SleepState.S5.memory_powered
+
+    def test_sz_is_the_only_sleeping_state_serving_memory(self):
+        serving = [s for s in SleepState
+                   if s.memory_remotely_accessible and s.is_sleeping]
+        assert serving == [SleepState.SZ]
+
+    def test_s3_retains_but_does_not_serve(self):
+        assert SleepState.S3.memory_powered
+        assert not SleepState.S3.memory_remotely_accessible
+
+    def test_s0_is_not_sleeping(self):
+        assert not SleepState.S0.is_sleeping
+        assert all(s.is_sleeping for s in SUSPEND_TARGETS)
+
+
+class TestWakeLatency:
+    def test_sz_wakes_like_s3(self):
+        assert SleepState.SZ.wake_latency_s == SleepState.S3.wake_latency_s
+
+    def test_deeper_states_wake_slower(self):
+        assert (SleepState.S3.wake_latency_s
+                < SleepState.S4.wake_latency_s
+                < SleepState.S5.wake_latency_s)
+
+    def test_s0_wake_is_free(self):
+        assert SleepState.S0.wake_latency_s == 0.0
+
+
+class TestSysfsKeywords:
+    def test_zom_keyword_added_by_the_patch(self):
+        assert SYSFS_KEYWORDS["zom"] is SleepState.SZ
+
+    def test_standard_keywords(self):
+        assert SYSFS_KEYWORDS["mem"] is SleepState.S3
+        assert SYSFS_KEYWORDS["disk"] is SleepState.S4
+
+    def test_str_renders_paper_name(self):
+        assert str(SleepState.SZ) == "Sz"

@@ -1,0 +1,173 @@
+"""The ZombieStack orchestrator over a real rack."""
+
+import pytest
+
+from repro.cloud.zombiestack import ZombieStackOrchestrator
+from repro.core.rack import Rack
+from repro.errors import AdmissionError, ConfigurationError, PlacementError
+from repro.hypervisor.vm import VmSpec
+from repro.units import MiB
+
+
+def _rack(names=("a", "b", "c")):
+    return Rack(list(names), memory_bytes=256 * MiB, buff_size=8 * MiB)
+
+
+def _spec(name, mem_mib=48, vcpus=8):
+    return VmSpec(name, mem_mib * MiB, vcpus=vcpus)
+
+
+class TestPlacement:
+    def test_boot_places_and_tracks(self):
+        orch = ZombieStackOrchestrator(_rack())
+        vm = orch.boot_vm(_spec("web"))
+        assert orch.placements["web"] in ("a", "b", "c")
+        assert vm.local_fraction >= 0.5
+
+    def test_stacking_fills_one_host_first(self):
+        orch = ZombieStackOrchestrator(_rack(), vcpu_capacity=32)
+        orch.boot_vm(_spec("v1", mem_mib=16))
+        orch.boot_vm(_spec("v2", mem_mib=16))
+        assert orch.placements["v1"] == orch.placements["v2"]
+
+    def test_vcpu_filter_spreads_when_full(self):
+        orch = ZombieStackOrchestrator(_rack(), vcpu_capacity=8)
+        orch.boot_vm(_spec("v1", vcpus=8))
+        orch.boot_vm(_spec("v2", vcpus=8))
+        assert orch.placements["v1"] != orch.placements["v2"]
+
+    def test_admission_blocks_remote_overcommit(self):
+        rack = _rack(("a", "b"))
+        orch = ZombieStackOrchestrator(rack)
+        orch.admission.resize_rack(64 * MiB)  # tiny guaranteed pool
+        orch.boot_vm(_spec("v1", mem_mib=64))
+        with pytest.raises(AdmissionError):
+            orch.boot_vm(_spec("v2", mem_mib=64))
+
+    def test_failed_placement_releases_admission(self):
+        orch = ZombieStackOrchestrator(_rack(("a",)), vcpu_capacity=8)
+        orch.boot_vm(_spec("v1", vcpus=8))
+        with pytest.raises(PlacementError):
+            orch.boot_vm(_spec("v2", vcpus=8))
+        assert "v2" not in orch.admission.reservations
+
+    def test_wakes_zombie_when_rack_is_tight(self):
+        rack = _rack()
+        orch = ZombieStackOrchestrator(rack, vcpu_capacity=8)
+        rack.make_zombie("c")
+        orch.boot_vm(_spec("v1", vcpus=8))
+        orch.boot_vm(_spec("v2", vcpus=8))
+        # a and b are vCPU-full: the third VM needs c back.
+        orch.boot_vm(_spec("v3", vcpus=8))
+        assert not rack.server("c").is_zombie
+        assert orch.placements["v3"] == "c"
+
+    def test_stop_vm_releases_everything(self):
+        orch = ZombieStackOrchestrator(_rack())
+        orch.boot_vm(_spec("v1"))
+        orch.stop_vm("v1")
+        assert "v1" not in orch.placements
+        assert "v1" not in orch.admission.reservations
+        with pytest.raises(PlacementError):
+            orch.stop_vm("v1")
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ZombieStackOrchestrator(_rack(), local_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            ZombieStackOrchestrator(_rack(), vcpu_capacity=0)
+
+
+class TestConsolidation:
+    def test_underload_detection(self):
+        orch = ZombieStackOrchestrator(_rack(), vcpu_capacity=32,
+                                       underload_vcpu_fraction=0.5)
+        orch.boot_vm(_spec("small", vcpus=4))
+        assert [s.name for s in orch.underloaded_servers()] \
+            == [orch.placements["small"]]
+
+    def test_cycle_migrates_and_parks_in_sz(self):
+        rack = _rack()
+        orch = ZombieStackOrchestrator(rack, vcpu_capacity=32,
+                                       underload_vcpu_fraction=0.5)
+        v1 = orch.boot_vm(_spec("v1", vcpus=12, mem_mib=32))
+        # Force v2 onto a different host to create an underloaded one.
+        orch.vcpu_capacity = 16
+        v2 = orch.boot_vm(_spec("v2", vcpus=8, mem_mib=32))
+        host1, host2 = orch.placements["v1"], orch.placements["v2"]
+        assert host1 != host2
+        # Touch some pages so the migration has real state to move.
+        for name, vm in (("v1", v1), ("v2", v2)):
+            hv = rack.server(orch.placements[name]).hypervisor
+            for ppn in range(0, vm.spec.total_pages, 4):
+                hv.access(vm, ppn)
+
+        orch.vcpu_capacity = 32
+        report = orch.consolidate()
+        # Both hosts were underloaded: the cycle packs everything onto the
+        # fewest hosts and parks the emptied ones in Sz.
+        assert report.migrations >= 1
+        assert report.new_zombies
+        assert all(rack.server(name).is_zombie
+                   for name in report.new_zombies)
+        assert orch.placements["v1"] == orch.placements["v2"]
+
+    def test_periodic_consolidation_on_the_engine(self):
+        rack = _rack()
+        orch = ZombieStackOrchestrator(rack, vcpu_capacity=32,
+                                       underload_vcpu_fraction=0.5,
+                                       consolidation_period_s=60.0)
+        orch.vcpu_capacity = 16
+        orch.boot_vm(_spec("v1", vcpus=12, mem_mib=32))
+        orch.boot_vm(_spec("v2", vcpus=4, mem_mib=32))
+        orch.vcpu_capacity = 32
+        rack.engine.run(until=61.0)
+        assert len(rack.zombie_servers()) >= 1
+
+    def test_full_cycle_boot_consolidate_boot(self):
+        """Consolidation frees a host; a later burst wakes it again."""
+        rack = _rack()
+        orch = ZombieStackOrchestrator(rack, vcpu_capacity=12,
+                                       underload_vcpu_fraction=0.5)
+        orch.boot_vm(_spec("v1", vcpus=12, mem_mib=32))
+        orch.boot_vm(_spec("v2", vcpus=4, mem_mib=32))
+        orch.vcpu_capacity = 16
+        orch.consolidate()
+        zombies_mid = len(rack.zombie_servers())
+        assert zombies_mid >= 1
+        # Burst: needs more vCPUs than the remaining active hosts hold.
+        orch.boot_vm(_spec("burst1", vcpus=12, mem_mib=32))
+        orch.boot_vm(_spec("burst2", vcpus=12, mem_mib=32))
+        assert len(rack.zombie_servers()) < zombies_mid
+
+
+class TestSleeperHandling:
+    """Regression tests for bugs the metered-day benchmark surfaced."""
+
+    def test_active_servers_excludes_s3(self):
+        from repro.acpi.states import SleepState
+        rack = _rack()
+        rack.server("c").suspend(SleepState.S3)
+        names = {s.name for s in rack.active_servers()}
+        assert names == {"a", "b"}
+
+    def test_consolidate_never_zombifies_a_sleeper(self):
+        from repro.acpi.states import SleepState
+        rack = _rack()
+        orch = ZombieStackOrchestrator(rack)
+        rack.server("c").suspend(SleepState.S3)
+        orch.consolidate()  # must not call go_zombie on the S3 server
+        assert rack.server("c").state is SleepState.S3
+
+    def test_placement_wakes_s3_sleeper_when_no_zombie(self):
+        from repro.acpi.states import SleepState
+        rack = _rack()
+        orch = ZombieStackOrchestrator(rack, vcpu_capacity=8)
+        rack.server("b").suspend(SleepState.S3)
+        rack.server("c").suspend(SleepState.S3)
+        orch.boot_vm(_spec("v1", vcpus=8))
+        # 'a' is full and no zombies exist: the S3 sleeper must come back.
+        orch.boot_vm(_spec("v2", vcpus=8))
+        assert orch.placements["v2"] in ("b", "c")
+        woken = orch.placements["v2"]
+        assert rack.server(woken).state is SleepState.S0

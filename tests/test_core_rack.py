@@ -1,0 +1,141 @@
+"""Rack assembly: server roles, Sz transitions, VM creation, failover."""
+
+import pytest
+
+from repro.acpi.states import SleepState
+from repro.core.rack import Rack
+from repro.core.server import ServerRole
+from repro.errors import (ConfigurationError, PlacementError, VmStateError)
+from repro.hypervisor.vm import VmSpec
+from repro.units import MiB, PAGE_SIZE
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Rack(["a", "a"])
+
+    def test_empty_rack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Rack([])
+
+    def test_controller_nodes_exist(self, small_rack):
+        assert "global-mem-ctr" in small_rack.fabric.nodes
+        assert "secondary-ctr" in small_rack.fabric.nodes
+
+    def test_unknown_server_lookup(self, small_rack):
+        with pytest.raises(ConfigurationError):
+            small_rack.server("nope")
+
+
+class TestZombieTransitions:
+    def test_go_zombie_delegates_memory(self, small_rack):
+        small_rack.make_zombie("s3")
+        server = small_rack.server("s3")
+        assert server.is_zombie
+        assert server.manager.lent_bytes > 0
+        assert small_rack.pool_summary()["zombie_hosts"] == 1
+        assert ServerRole.ZOMBIE in server.roles()
+
+    def test_zombie_with_vms_refused(self, rack_with_zombie):
+        rack = rack_with_zombie
+        rack.create_vm("s1", VmSpec("v", 32 * MiB), local_fraction=0.5)
+        with pytest.raises(VmStateError):
+            rack.make_zombie("s1")
+
+    def test_wake_reclaims(self, rack_with_zombie):
+        rack = rack_with_zombie
+        server = rack.server("s3")
+        lent = server.manager.lent_bytes
+        latency = rack.wake("s3", reclaim_bytes=lent)
+        assert latency == SleepState.SZ.wake_latency_s
+        assert server.manager.lent_bytes == 0
+        assert not server.is_zombie
+
+    def test_partial_reclaim_keeps_lending(self, rack_with_zombie):
+        rack = rack_with_zombie
+        server = rack.server("s3")
+        lent = server.manager.lent_bytes
+        rack.wake("s3", reclaim_bytes=rack.buff_size)
+        assert server.manager.lent_bytes == lent - rack.buff_size
+        assert ServerRole.ACTIVE in server.roles()
+
+    def test_zombie_lists(self, rack_with_zombie):
+        rack = rack_with_zombie
+        assert [s.name for s in rack.zombie_servers()] == ["s3"]
+        assert {s.name for s in rack.active_servers()} == {"s1", "s2"}
+
+
+class TestVmOperations:
+    def test_create_vm_with_remote_memory(self, rack_with_zombie):
+        rack = rack_with_zombie
+        vm = rack.create_vm("s1", VmSpec("v", 64 * MiB), local_fraction=0.5)
+        assert vm.local_frames_limit == (32 * MiB) // PAGE_SIZE
+        store = rack.server("s1").hypervisor.store_for("v")
+        assert store.total_slots >= (32 * MiB) // PAGE_SIZE
+        assert ServerRole.USER in rack.server("s1").roles()
+
+    def test_fully_local_vm_needs_no_store(self, small_rack):
+        vm = small_rack.create_vm("s1", VmSpec("v", 32 * MiB),
+                                  local_fraction=1.0)
+        assert small_rack.server("s1").hypervisor.store_for("v") is None
+
+    def test_oversized_local_part_refused(self, rack_with_zombie):
+        rack = rack_with_zombie
+        with pytest.raises(PlacementError):
+            rack.create_vm("s1", VmSpec("v", 4096 * MiB), local_fraction=1.0)
+
+    def test_invalid_fraction(self, small_rack):
+        with pytest.raises(ConfigurationError):
+            small_rack.create_vm("s1", VmSpec("v", 32 * MiB),
+                                 local_fraction=0.0)
+
+    def test_destroy_vm_releases_buffers(self, rack_with_zombie):
+        rack = rack_with_zombie
+        rack.create_vm("s1", VmSpec("v", 64 * MiB), local_fraction=0.5)
+        free_before = rack.pool_summary()["free_bytes"]
+        rack.destroy_vm("s1", "v")
+        assert rack.pool_summary()["free_bytes"] > free_before
+
+    def test_vm_paging_through_the_rack(self, rack_with_zombie):
+        rack = rack_with_zombie
+        vm = rack.create_vm("s1", VmSpec("v", 16 * MiB), local_fraction=0.5)
+        hv = rack.server("s1").hypervisor
+        for ppn in range(vm.spec.total_pages):
+            hv.access(vm, ppn)
+        stats = hv.stats("v")
+        assert stats.evictions > 0
+        assert rack.fabric.stats.writes > 0
+
+
+class TestFailover:
+    def test_kill_and_promote(self, rack_with_zombie):
+        rack = rack_with_zombie
+        old = rack.controller
+        rack.kill_controller()
+        rack.engine.run(until=10.0)
+        assert rack.secondary.promoted is not None
+        assert rack.controller is not old
+
+    def test_rack_functional_after_failover(self, rack_with_zombie):
+        rack = rack_with_zombie
+        rack.kill_controller()
+        rack.engine.run(until=10.0)
+        # allocation still works against the promoted controller
+        vm = rack.create_vm("s1", VmSpec("v", 32 * MiB), local_fraction=0.5)
+        assert vm is not None
+        assert rack.controller.gs_get_lru_zombie() == "s3"
+
+    def test_zombie_survives_failover(self, rack_with_zombie):
+        rack = rack_with_zombie
+        lent_before = rack.pool_summary()["total_bytes"]
+        rack.kill_controller()
+        rack.engine.run(until=10.0)
+        assert rack.pool_summary()["total_bytes"] == lent_before
+
+
+class TestPower:
+    def test_zombie_cuts_rack_power(self, small_rack):
+        before = small_rack.total_power_watts()
+        small_rack.make_zombie("s3")
+        assert small_rack.total_power_watts() < before

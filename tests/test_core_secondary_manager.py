@@ -1,0 +1,184 @@
+"""Secondary-controller HA and the remote-mem-mgr agent."""
+
+import pytest
+
+from repro.acpi.states import SleepState
+from repro.core.controller import GlobalMemoryController
+from repro.core.manager import RemoteMemoryManager
+from repro.core.protocol import Method
+from repro.core.secondary import SecondaryController
+from repro.errors import BufferError_, ControllerError, FailoverError
+from repro.hypervisor.vm import VmSpec
+from repro.memory.frames import FrameAllocator
+from repro.rdma.fabric import Fabric
+from repro.rdma.rpc import RpcClient
+from repro.sim.engine import Engine
+from repro.units import MiB, PAGE_SIZE
+
+BUFF = 4 * MiB
+BUFF_PAGES = BUFF // PAGE_SIZE
+
+
+def _wired(lender_pages=4 * BUFF_PAGES, user_pages=4 * BUFF_PAGES):
+    """Controller + secondary + two managers, fully wired on one fabric."""
+    engine = Engine()
+    fabric = Fabric()
+    ctr_node = fabric.add_node("ctr")
+    sec_node = fabric.add_node("sec")
+    controller = GlobalMemoryController(ctr_node, buff_size=BUFF)
+    secondary = SecondaryController(sec_node, engine,
+                                    heartbeat_period_s=1.0, miss_threshold=3)
+    controller.mirror = secondary.attach_rpc_mirror(
+        RpcClient(ctr_node, secondary.rpc)
+    )
+    secondary.watch(RpcClient(sec_node, controller.rpc))
+
+    managers = {}
+    for name, pages in (("lender", lender_pages), ("user", user_pages)):
+        node = fabric.add_node(name)
+        manager = RemoteMemoryManager(name, node, FrameAllocator(pages),
+                                      buff_size=BUFF)
+        manager.attach_controller(RpcClient(node, controller.rpc))
+        controller.attach_agent(name, RpcClient(ctr_node, manager.rpc))
+        managers[name] = manager
+    return engine, fabric, controller, secondary, managers
+
+
+class TestManagerLending:
+    def test_delegate_for_zombie_lends_all_free_memory(self):
+        _, _, ctr, _, mgrs = _wired()
+        count = mgrs["lender"].delegate_for_zombie()
+        assert count == 4
+        assert mgrs["lender"].lent_bytes == 4 * BUFF
+        assert mgrs["lender"].allocator.free_frames == 0
+        assert "lender" in ctr.zombie_hosts
+
+    def test_as_get_free_mem_keeps_a_reserve(self):
+        _, _, _, _, mgrs = _wired()
+        lender = mgrs["lender"]
+        lender.lend_reserve_fraction = 0.25
+        descriptors = lender.as_get_free_mem()
+        assert len(descriptors) == 3  # 75 % of 4 buffers worth
+        assert lender.allocator.free_frames == BUFF_PAGES
+
+    def test_reclaim_returns_frames(self):
+        _, _, _, _, mgrs = _wired()
+        lender = mgrs["lender"]
+        lender.delegate_for_zombie()
+        recovered = lender.reclaim(2)
+        assert recovered == 2 * BUFF
+        assert lender.allocator.free_frames == 2 * BUFF_PAGES
+
+    def test_reclaim_all(self):
+        _, _, ctr, _, mgrs = _wired()
+        lender = mgrs["lender"]
+        lender.delegate_for_zombie()
+        lender.reclaim_all()
+        assert lender.lent_bytes == 0
+        assert len(ctr.db) == 0
+
+    def test_reclaim_bytes_rounds_to_buffers(self):
+        _, _, _, _, mgrs = _wired()
+        lender = mgrs["lender"]
+        lender.delegate_for_zombie()
+        recovered = lender.reclaim_bytes(BUFF + 1)
+        assert recovered == 2 * BUFF
+
+    def test_detached_manager_raises(self):
+        fabric = Fabric()
+        node = fabric.add_node("orphan")
+        manager = RemoteMemoryManager("orphan", node, FrameAllocator(16))
+        with pytest.raises(ControllerError):
+            manager.delegate_for_zombie()
+
+
+class TestManagerUserSide:
+    def test_request_ext_builds_store(self):
+        _, _, _, _, mgrs = _wired()
+        mgrs["lender"].delegate_for_zombie()
+        store = mgrs["user"].request_ext(2 * BUFF)
+        assert store.total_slots == 2 * BUFF_PAGES
+        key, _ = store.store(b"hello")
+        assert store.load(key)[0][:5] == b"hello"
+
+    def test_request_swap_best_effort(self):
+        _, _, _, _, mgrs = _wired()
+        mgrs["lender"].delegate_for_zombie()
+        store, granted = mgrs["user"].request_swap(100 * BUFF)
+        assert granted <= 4 * BUFF
+
+    def test_extend_swap_adds_leases(self):
+        _, _, _, _, mgrs = _wired()
+        mgrs["lender"].delegate_for_zombie()
+        store, granted = mgrs["user"].request_swap(BUFF)
+        extra = mgrs["user"].extend_swap(store, BUFF)
+        assert extra == BUFF
+        assert len(store.lease_ids()) == 2
+
+    def test_release_store_frees_pool(self):
+        _, _, ctr, _, mgrs = _wired()
+        mgrs["lender"].delegate_for_zombie()
+        store = mgrs["user"].request_ext(2 * BUFF)
+        mgrs["user"].release_store(store)
+        assert ctr.db.free_bytes() == 4 * BUFF
+
+    def test_us_reclaim_rehomes_pages(self):
+        _, _, ctr, _, mgrs = _wired()
+        mgrs["lender"].delegate_for_zombie()
+        store = mgrs["user"].request_ext(2 * BUFF)
+        key, _ = store.store(b"survive-this")
+        victim = store.lease_ids()[0]
+        mgrs["user"].us_reclaim([victim])
+        assert store.load(key)[0][:12] == b"survive-this"
+        assert mgrs["user"].reclaims_served == 1
+
+    def test_controller_driven_reclaim_end_to_end(self):
+        """The full wake path: lender reclaims, user's pages survive."""
+        _, _, _, _, mgrs = _wired()
+        mgrs["lender"].delegate_for_zombie()
+        store = mgrs["user"].request_ext(2 * BUFF)
+        key, _ = store.store(b"data")
+        mgrs["lender"].reclaim(4)  # revokes the user's buffers via US_reclaim
+        data, _ = store.load(key)
+        assert data[:4] == b"data"
+        assert store.local_fallback_loads >= 0  # may or may not fall back
+        assert mgrs["lender"].allocator.free_frames == 4 * BUFF_PAGES
+
+
+class TestMirroringAndFailover:
+    def test_secondary_tracks_state(self):
+        _, _, ctr, sec, mgrs = _wired()
+        mgrs["lender"].delegate_for_zombie()
+        assert len(sec.db) == len(ctr.db)
+        assert sec.zombie_hosts == ctr.zombie_hosts
+
+    def test_heartbeat_keeps_secondary_quiet(self):
+        engine, _, _, sec, _ = _wired()
+        engine.run(until=10.0)
+        assert sec.heartbeats_ok == 10
+        assert sec.promoted is None
+
+    def test_failover_after_missed_heartbeats(self):
+        engine, _, ctr, sec, _ = _wired()
+        promoted = []
+        sec.on_failover = lambda s: promoted.append(s.promote(BUFF))
+        ctr.rpc.unregister(Method.HEARTBEAT.value)  # crash the primary
+        engine.run(until=10.0)
+        assert len(promoted) == 1
+        assert promoted[0].db is not ctr.db
+
+    def test_promoted_controller_has_mirrored_state(self):
+        engine, _, ctr, sec, mgrs = _wired()
+        mgrs["lender"].delegate_for_zombie()
+        store = mgrs["user"].request_ext(BUFF)
+        new_ctr = sec.promote(BUFF)
+        assert len(new_ctr.db) == len(ctr.db)
+        assert new_ctr.zombie_hosts == {"lender"}
+        allocated = [b for b in new_ctr.db.all_buffers() if b.allocated]
+        assert len(allocated) == 1
+
+    def test_double_promotion_rejected(self):
+        _, _, _, sec, _ = _wired()
+        sec.promote(BUFF)
+        with pytest.raises(FailoverError):
+            sec.promote(BUFF)

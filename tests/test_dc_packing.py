@@ -1,0 +1,99 @@
+"""Bin packing, and its agreement with the Fig. 10 aggregate model."""
+
+import pytest
+
+from repro.dc.energy_sim import plan_neat, plan_zombiestack
+from repro.dc.datacenter import aggregate_demand
+from repro.dc.packing import (first_fit_decreasing, pack_neat,
+                              pack_zombiestack, tasks_active_at)
+from repro.errors import ConfigurationError
+from repro.traces.google import generate_trace
+from repro.traces.schema import TraceConfig
+from repro.units import HOUR
+
+
+class TestFirstFitDecreasing:
+    def test_single_item(self):
+        result = first_fit_decreasing([(0.5, 0.5)])
+        assert result.hosts_used == 1
+        assert result.unplaced == 0
+
+    def test_perfect_pairs(self):
+        items = [(0.4, 0.4)] * 4  # two per host at 0.8/0.9 caps
+        assert first_fit_decreasing(items).hosts_used == 2
+
+    def test_memory_bound_packing(self):
+        items = [(0.1, 0.8)] * 4  # memory forbids sharing
+        assert first_fit_decreasing(items).hosts_used == 4
+
+    def test_above_ceiling_gets_dedicated_host(self):
+        """Items over the headroom ceiling but within raw capacity run on
+        a host of their own, marked full."""
+        result = first_fit_decreasing([(0.9, 0.1), (0.1, 0.1)], cpu_cap=0.8)
+        assert result.hosts_used == 2
+        assert result.unplaced == 0
+
+    def test_item_over_raw_capacity_unplaced(self):
+        result = first_fit_decreasing([(1.4, 0.1)], cpu_cap=0.8)
+        assert result.unplaced == 1
+        assert result.hosts_used == 0
+
+    def test_max_hosts_cap(self):
+        result = first_fit_decreasing([(0.5, 0.5)] * 3, max_hosts=2)
+        assert result.hosts_used == 2
+        assert result.unplaced == 1
+
+    def test_fill_metrics(self):
+        result = first_fit_decreasing([(0.8, 0.45)], cpu_cap=0.8,
+                                      mem_cap=0.9)
+        assert result.cpu_fill == pytest.approx(1.0)
+        assert result.mem_fill == pytest.approx(0.5)
+
+    def test_invalid_caps(self):
+        with pytest.raises(ConfigurationError):
+            first_fit_decreasing([], cpu_cap=0.0)
+
+
+class TestAggregateModelValidation:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(TraceConfig(n_servers=150, duration_days=1.0,
+                                          seed=5))
+
+    def test_neat_aggregate_tracks_real_packing(self, trace):
+        """The aggregate estimate stays within ~25 % of a true FFD pack."""
+        slots = aggregate_demand(trace, slot_s=HOUR)
+        checked = 0
+        for hour in (6, 12, 18):
+            t = hour * HOUR
+            active = tasks_active_at(trace, t)
+            if len(active) < 20:
+                continue
+            real = pack_neat(active)
+            estimate = plan_neat(slots[hour], 150).active
+            assert real.hosts_used == pytest.approx(estimate, rel=0.25), (
+                f"hour {hour}: FFD {real.hosts_used} vs "
+                f"aggregate {estimate:.1f}"
+            )
+            checked += 1
+        assert checked >= 2
+
+    def test_zombiestack_packs_fewer_hosts_than_neat(self, trace):
+        """The relaxed constraint is what shrinks the active set."""
+        active = tasks_active_at(trace, 12 * HOUR)
+        assert pack_zombiestack(active).hosts_used \
+            < pack_neat(active).hosts_used
+
+    def test_memory_pressure_hurts_neat_not_zombiestack(self, trace):
+        from repro.traces.transform import double_memory_demand
+        active = tasks_active_at(trace, 12 * HOUR)
+        doubled = tasks_active_at(double_memory_demand(trace), 12 * HOUR)
+        assert pack_neat(doubled).hosts_used > pack_neat(active).hosts_used
+        zs_before = pack_zombiestack(active).hosts_used
+        zs_after = pack_zombiestack(doubled).hosts_used
+        assert zs_after <= zs_before * 1.3
+
+    def test_everything_placeable(self, trace):
+        active = tasks_active_at(trace, 12 * HOUR)
+        assert pack_neat(active).unplaced == 0
+        assert pack_zombiestack(active).unplaced == 0

@@ -1,0 +1,46 @@
+"""The exception hierarchy: catchability contracts callers rely on."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name, obj in vars(errors).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_rdma_family(self):
+        assert issubclass(errors.QueuePairError, errors.RdmaError)
+        assert issubclass(errors.MemoryRegionError, errors.RdmaError)
+        assert issubclass(errors.RpcError, errors.RdmaError)
+        assert issubclass(errors.RpcTimeoutError, errors.RpcError)
+
+    def test_memory_family(self):
+        for cls in (errors.OutOfFramesError, errors.PageTableError,
+                    errors.BufferError_, errors.SwapError):
+            assert issubclass(cls, errors.MemoryError_)
+
+    def test_controller_family(self):
+        assert issubclass(errors.FailoverError, errors.ControllerError)
+
+    def test_hypervisor_family(self):
+        assert issubclass(errors.VmStateError, errors.HypervisorError)
+        assert issubclass(errors.MigrationError, errors.HypervisorError)
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert errors.MemoryError_ is not MemoryError
+        assert not issubclass(errors.MemoryError_, MemoryError)
+
+    def test_catching_the_base_catches_subsystem_failures(self):
+        """One except clause is enough at library boundaries."""
+        from repro.memory.frames import FrameAllocator
+        allocator = FrameAllocator(0)
+        with pytest.raises(errors.ReproError):
+            allocator.alloc()
+        from repro.rdma.fabric import Fabric
+        with pytest.raises(errors.ReproError):
+            Fabric().node("ghost")

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs green.
+
+Run as subprocesses so import-time and ``__main__`` behaviour are covered
+exactly as a user would hit them.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    if script.name == "datacenter_energy.py":
+        argv = [sys.executable, str(script), "100", "1"]  # small + fast
+    else:
+        argv = [sys.executable, str(script)]
+    result = subprocess.run(argv, capture_output=True, text=True,
+                            timeout=240)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names

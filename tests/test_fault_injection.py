@@ -1,0 +1,150 @@
+"""Fault injection: partitions, Wake-on-LAN, crash resilience.
+
+The paper notes that prior remote-memory systems suffered "reduced
+reliability in the face of remote server crashes"; ZombieStack's answer is
+the local-storage mirror plus striping.  These tests kill servers and links
+and check the data survives.
+"""
+
+import pytest
+
+from repro.acpi.states import SleepState
+from repro.core.rack import Rack
+from repro.errors import RdmaError, RpcTimeoutError
+from repro.hypervisor.vm import VmSpec
+from repro.memory.buffers import LOCAL_FALLBACK_S
+from repro.rdma.fabric import Fabric
+from repro.rdma.rpc import RpcClient, RpcServer
+from repro.units import GiB, MiB
+from repro.acpi.platform import build_platform
+
+
+class TestPartitions:
+    def _pair(self):
+        fabric = Fabric()
+        a = fabric.add_node("a")
+        b = fabric.add_node("b")
+        mr = b.register_mr(4096)
+        qp = a.connect_qp("b")
+        return fabric, a, b, mr, qp
+
+    def test_partitioned_target_fails_verbs(self):
+        fabric, a, _, mr, qp = self._pair()
+        fabric.partition("b")
+        with pytest.raises(RdmaError):
+            a.rdma_read(qp, mr.rkey, 0, 1)
+
+    def test_partitioned_initiator_fails_verbs(self):
+        fabric, a, _, mr, qp = self._pair()
+        fabric.partition("a")
+        with pytest.raises(RdmaError):
+            a.rdma_write(qp, mr.rkey, 0, b"x")
+
+    def test_heal_restores_service(self):
+        fabric, a, _, mr, qp = self._pair()
+        fabric.partition("b")
+        fabric.heal("b")
+        a.rdma_write(qp, mr.rkey, 0, b"ok")
+
+    def test_partitioned_rpc_server_times_out(self):
+        fabric, a, b, _, _ = self._pair()
+        server = RpcServer(b)
+        server.register("ping", lambda: "pong")
+        client = RpcClient(a, server, timeout_s=0.01)
+        fabric.partition("b")
+        with pytest.raises(RpcTimeoutError):
+            client.call("ping")
+
+    def test_partition_unknown_node_rejected(self):
+        with pytest.raises(RdmaError):
+            Fabric().partition("ghost")
+
+
+class TestWakeOnLan:
+    def _fabric_with(self, state):
+        fabric = Fabric()
+        fabric.add_node("admin")
+        platform = build_platform("srv", memory_bytes=1 * GiB)
+        fabric.add_node("srv", platform=platform)
+        if state is not SleepState.S0:
+            if state is SleepState.SZ:
+                platform.go_zombie()
+            else:
+                platform.suspend(state)
+        return fabric, platform
+
+    @pytest.mark.parametrize("state", [SleepState.S3, SleepState.S4,
+                                       SleepState.SZ])
+    def test_wol_wakes_states_with_nic_standby(self, state):
+        fabric, platform = self._fabric_with(state)
+        latency = fabric.wake_on_lan("srv")
+        assert platform.state is SleepState.S0
+        assert latency == state.wake_latency_s
+
+    def test_wol_lost_in_s5(self):
+        fabric, platform = self._fabric_with(SleepState.S5)
+        with pytest.raises(RdmaError):
+            fabric.wake_on_lan("srv")
+        assert platform.state is SleepState.S5
+
+    def test_wol_noop_when_awake(self):
+        fabric, platform = self._fabric_with(SleepState.S0)
+        assert fabric.wake_on_lan("srv") == 0.0
+
+    def test_wol_blocked_by_partition(self):
+        fabric, platform = self._fabric_with(SleepState.S3)
+        fabric.partition("srv")
+        with pytest.raises(RdmaError):
+            fabric.wake_on_lan("srv")
+
+
+class TestCrashResilience:
+    def _rack(self):
+        rack = Rack(["user", "z1", "z2"], memory_bytes=128 * MiB,
+                    buff_size=8 * MiB)
+        rack.make_zombie("z1")
+        rack.make_zombie("z2")
+        vm = rack.create_vm("user", VmSpec("vm", 48 * MiB),
+                            local_fraction=0.5)
+        hv = rack.server("user").hypervisor
+        for ppn in range(vm.spec.total_pages):
+            hv.access(vm, ppn, write=True)
+        return rack, vm, hv
+
+    def test_zombie_crash_served_from_local_mirror(self):
+        """A dead zombie's pages come back from the local backup."""
+        rack, vm, hv = self._rack()
+        rack.fabric.partition("z1")
+        store = hv.store_for("vm")
+        # Every demoted page must still be loadable: either the surviving
+        # zombie has it, or the local mirror serves it after the failure.
+        demoted = [p for p in range(vm.spec.total_pages)
+                   if not vm.table.entry(p).present]
+        served = 0
+        for ppn in demoted:
+            key = vm.table.entry(ppn).remote_slot
+            location = store._locations[key]
+            if location != ("local", 0):
+                lease = store._leases[location[0]].lease
+                if lease.host == "z1":
+                    # dead host: verbs fail; re-home from the mirror
+                    with pytest.raises(RdmaError):
+                        store.load(key)
+                    store.remove_lease(location[0])
+            data, elapsed = store.load(key)
+            served += 1
+        assert served == len(demoted)
+
+    def test_striping_bounds_crash_impact(self):
+        """At most ~half the remote pages sit on any single zombie."""
+        rack, vm, hv = self._rack()
+        store = hv.store_for("vm")
+        per_host = {}
+        for location in store._locations.values():
+            if location == ("local", 0):
+                continue
+            host = store._leases[location[0]].lease.host
+            per_host[host] = per_host.get(host, 0) + 1
+        total = sum(per_host.values())
+        assert len(per_host) == 2
+        assert max(per_host.values()) <= 0.7 * total

@@ -1,0 +1,73 @@
+"""The Explicit SD guest: watermarked RAM + swap device paging."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hypervisor.explicit_sd import ExplicitSdVm
+from repro.hypervisor.vm import VmSpec
+from repro.memory.swap import SsdSwap
+from repro.units import PAGE_SIZE
+
+
+def _guest(vm_pages=16, ram_pages=8, watermark=1.0, **kwargs):
+    spec = VmSpec("sd-vm", vm_pages * PAGE_SIZE)
+    device = SsdSwap(capacity_pages=vm_pages * 2)
+    guest = ExplicitSdVm(spec, ram_pages * PAGE_SIZE, device,
+                         watermark=watermark, **kwargs)
+    return guest, device
+
+
+class TestConstruction:
+    def test_watermark_shrinks_usable_ram(self):
+        guest, _ = _guest(ram_pages=10, watermark=0.8)
+        assert guest.usable_frames == 8
+
+    def test_invalid_watermark(self):
+        with pytest.raises(ConfigurationError):
+            _guest(watermark=0.0)
+
+    def test_guest_ram_cannot_exceed_vm(self):
+        spec = VmSpec("v", 4 * PAGE_SIZE)
+        with pytest.raises(ConfigurationError):
+            ExplicitSdVm(spec, 8 * PAGE_SIZE, SsdSwap(4))
+
+
+class TestGuestPaging:
+    def test_within_ram_no_swap(self):
+        guest, device = _guest(vm_pages=8, ram_pages=8)
+        for ppn in range(8):
+            guest.access(ppn)
+        assert device.swap_outs == 0
+        assert guest.stats.page_faults == 8  # demand allocation only
+
+    def test_swap_out_when_ram_exhausted(self):
+        guest, device = _guest(vm_pages=16, ram_pages=4)
+        for ppn in range(8):
+            guest.access(ppn)
+        assert device.swap_outs == 4
+        assert guest.table.resident_pages == 4
+
+    def test_swap_in_on_refault(self):
+        guest, device = _guest(vm_pages=16, ram_pages=4)
+        for ppn in range(8):
+            guest.access(ppn)
+        victim = next(p for p in range(8)
+                      if not guest.table.entry(p).present)
+        guest.access(victim)
+        assert device.swap_ins == 1
+        assert guest.table.entry(victim).present
+
+    def test_io_overhead_charged(self):
+        cheap, dev1 = _guest(vm_pages=16, ram_pages=4, io_overhead_s=0.0)
+        costly, dev2 = _guest(vm_pages=16, ram_pages=4, io_overhead_s=1e-3)
+        t_cheap = sum(cheap.access(p) for p in range(8))
+        t_costly = sum(costly.access(p) for p in range(8))
+        assert t_costly > t_cheap
+
+    def test_idle_drains_device_backlog(self):
+        guest, device = _guest(vm_pages=16, ram_pages=4)
+        for ppn in range(8):
+            guest.access(ppn)
+        assert device.backlog_s > 0
+        guest.idle(10.0)
+        assert device.backlog_s == 0.0

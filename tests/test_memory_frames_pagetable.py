@@ -1,0 +1,199 @@
+"""Frame allocation and page tables."""
+
+import pytest
+
+from repro.errors import (ConfigurationError, OutOfFramesError,
+                          PageTableError)
+from repro.memory.frames import Frame, FrameAllocator
+from repro.memory.page_table import PageLocation, PageTable
+
+
+class TestFrameAllocator:
+    def test_alloc_free_cycle(self):
+        alloc = FrameAllocator(4)
+        frames = [alloc.alloc() for _ in range(4)]
+        assert alloc.free_frames == 0
+        assert alloc.used_frames == 4
+        for frame in frames:
+            alloc.free(frame)
+        assert alloc.free_frames == 4
+
+    def test_deterministic_lowest_first(self):
+        alloc = FrameAllocator(3)
+        assert [alloc.alloc().mfn for _ in range(3)] == [0, 1, 2]
+
+    def test_exhaustion_raises(self):
+        alloc = FrameAllocator(1)
+        alloc.alloc()
+        with pytest.raises(OutOfFramesError):
+            alloc.alloc()
+
+    def test_try_alloc_returns_none_when_empty(self):
+        alloc = FrameAllocator(1)
+        assert alloc.try_alloc() is not None
+        assert alloc.try_alloc() is None
+
+    def test_double_free_rejected(self):
+        alloc = FrameAllocator(2)
+        frame = alloc.alloc()
+        alloc.free(frame)
+        with pytest.raises(PageTableError):
+            alloc.free(frame)
+
+    def test_free_foreign_frame_rejected(self):
+        alloc = FrameAllocator(2)
+        with pytest.raises(PageTableError):
+            alloc.free(Frame(1))
+
+    def test_alloc_many(self):
+        alloc = FrameAllocator(10)
+        frames = alloc.alloc_many(7)
+        assert len(frames) == 7
+        assert alloc.free_frames == 3
+        alloc.free_many(frames)
+        assert alloc.free_frames == 10
+
+    def test_alloc_many_over_capacity(self):
+        with pytest.raises(OutOfFramesError):
+            FrameAllocator(3).alloc_many(4)
+
+    def test_alloc_many_zero(self):
+        assert FrameAllocator(3).alloc_many(0) == []
+
+    def test_free_many_all_or_nothing(self):
+        alloc = FrameAllocator(4)
+        frames = alloc.alloc_many(2)
+        with pytest.raises(PageTableError):
+            alloc.free_many(frames + [Frame(99)])
+        # nothing was freed by the failing call
+        assert alloc.free_frames == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrameAllocator(-1)
+
+    def test_is_allocated(self):
+        alloc = FrameAllocator(2)
+        frame = alloc.alloc()
+        assert alloc.is_allocated(frame)
+        alloc.free(frame)
+        assert not alloc.is_allocated(frame)
+
+
+class TestPageTable:
+    def test_entries_start_unallocated(self):
+        table = PageTable(16)
+        entry = table.entry(3)
+        assert entry.location is PageLocation.UNALLOCATED
+        assert not entry.present
+
+    def test_map_local_counts_resident(self):
+        table = PageTable(16)
+        table.map_local(0, Frame(0))
+        table.map_local(1, Frame(1))
+        assert table.resident_pages == 2
+        assert table.entry(0).present
+
+    def test_double_map_rejected(self):
+        table = PageTable(16)
+        table.map_local(0, Frame(0))
+        with pytest.raises(PageTableError):
+            table.map_local(0, Frame(1))
+
+    def test_demote_clears_present_and_returns_frame(self):
+        table = PageTable(16)
+        table.map_local(5, Frame(9))
+        frame = table.demote(5, remote_slot=42)
+        assert frame.mfn == 9
+        entry = table.entry(5)
+        assert entry.location is PageLocation.REMOTE
+        assert entry.remote_slot == 42
+        assert table.resident_pages == 0
+        assert table.remote_pages == 1
+
+    def test_demote_nonpresent_rejected(self):
+        table = PageTable(16)
+        with pytest.raises(PageTableError):
+            table.demote(0, remote_slot=1)
+
+    def test_remote_page_promotes_back(self):
+        table = PageTable(16)
+        table.map_local(5, Frame(1))
+        table.demote(5, remote_slot=7)
+        table.map_local(5, Frame(2))
+        entry = table.entry(5)
+        assert entry.present
+        assert entry.remote_slot is None
+        assert table.remote_pages == 0
+
+    def test_out_of_range_ppn(self):
+        table = PageTable(4)
+        with pytest.raises(PageTableError):
+            table.entry(4)
+        with pytest.raises(PageTableError):
+            table.entry(-1)
+
+    def test_discard_returns_local_frame(self):
+        table = PageTable(8)
+        table.map_local(1, Frame(3))
+        assert table.discard(1).mfn == 3
+        assert table.resident_pages == 0
+        assert table.discard(1) is None  # already gone
+
+    def test_discard_remote_adjusts_count(self):
+        table = PageTable(8)
+        table.map_local(1, Frame(3))
+        table.demote(1, remote_slot=0)
+        assert table.discard(1) is None
+        assert table.remote_pages == 0
+
+
+class TestAccessedBits:
+    def test_map_sets_accessed(self):
+        table = PageTable(8)
+        table.map_local(0, Frame(0))
+        assert table.is_accessed(0)
+
+    def test_clear_is_epoch_bump(self):
+        table = PageTable(8)
+        table.map_local(0, Frame(0))
+        cleared = table.clear_accessed_bits()
+        assert cleared == 1  # resident count, the sweep size
+        # bits survive exactly one epoch (gradual hand-sweep semantics)
+        assert table.is_accessed(0)
+        table.clear_accessed_bits()
+        assert not table.is_accessed(0)
+
+    def test_mark_accessed_refreshes(self):
+        table = PageTable(8)
+        table.map_local(0, Frame(0))
+        table.clear_accessed_bits()
+        table.clear_accessed_bits()
+        table.mark_accessed(0)
+        assert table.is_accessed(0)
+
+    def test_mark_accessed_nonpresent_rejected(self):
+        table = PageTable(8)
+        with pytest.raises(PageTableError):
+            table.mark_accessed(0)
+
+    def test_dirty_bit(self):
+        table = PageTable(8)
+        table.map_local(0, Frame(0))
+        table.mark_accessed(0, write=True)
+        assert table.entry(0).dirty
+
+    def test_demote_resets_bits(self):
+        table = PageTable(8)
+        table.map_local(0, Frame(0))
+        table.mark_accessed(0, write=True)
+        table.demote(0, remote_slot=0)
+        assert not table.entry(0).dirty
+
+    def test_resident_iteration(self):
+        table = PageTable(8)
+        for ppn in range(4):
+            table.map_local(ppn, Frame(ppn))
+        table.demote(2, remote_slot=0)
+        assert sorted(e.ppn for e in table.resident()) == [0, 1, 3]
+        assert table.known_pages() == 4

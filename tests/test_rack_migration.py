@@ -1,0 +1,102 @@
+"""Rack-level VM migration with remote-lease ownership transfer."""
+
+import pytest
+
+from repro.core.rack import Rack
+from repro.errors import ConfigurationError
+from repro.hypervisor.vm import VmSpec, VmState
+from repro.units import MiB
+
+
+@pytest.fixture
+def migration_rack():
+    rack = Rack(["src", "dst", "zombie"], memory_bytes=256 * MiB,
+                buff_size=8 * MiB)
+    rack.make_zombie("zombie")
+    return rack
+
+
+def _paged_vm(rack, name="vm", host="src", mem=64 * MiB):
+    vm = rack.create_vm(host, VmSpec(name, mem), local_fraction=0.5)
+    hv = rack.server(host).hypervisor
+    for ppn in range(vm.spec.total_pages):
+        hv.access(vm, ppn)
+    return vm
+
+
+class TestMigrateVm:
+    def test_vm_moves_with_its_paging_state(self, migration_rack):
+        rack = migration_rack
+        vm = _paged_vm(rack)
+        local = vm.table.resident_pages
+        remote = vm.table.remote_pages
+        result = rack.migrate_vm("vm", "src", "dst")
+
+        assert "vm" not in rack.server("src").hypervisor.vms
+        assert "vm" in rack.server("dst").hypervisor.vms
+        assert vm.state is VmState.RUNNING
+        assert vm.table.resident_pages == local
+        assert vm.table.remote_pages == remote
+        assert result.pages_transferred == local
+        assert result.remote_pages_kept == remote
+
+    def test_remote_memory_does_not_move(self, migration_rack):
+        rack = migration_rack
+        _paged_vm(rack)
+        bytes_before = rack.fabric.stats.bytes_written
+        rack.migrate_vm("vm", "src", "dst")
+        # ownership transfer moves no page content over RDMA
+        assert rack.fabric.stats.bytes_written == bytes_before
+
+    def test_controller_ownership_repointed(self, migration_rack):
+        rack = migration_rack
+        _paged_vm(rack)
+        rack.migrate_vm("vm", "src", "dst")
+        users = {b.user for b in rack.controller.db.all_buffers()
+                 if b.allocated}
+        assert users == {"dst"}
+
+    def test_vm_keeps_paging_after_migration(self, migration_rack):
+        rack = migration_rack
+        vm = _paged_vm(rack)
+        demoted = [p for p in range(vm.spec.total_pages)
+                   if not vm.table.entry(p).present]
+        rack.migrate_vm("vm", "src", "dst")
+        dst_hv = rack.server("dst").hypervisor
+        # remote fills still work through the rebound queue pairs
+        cost = dst_hv.access(vm, demoted[0])
+        assert cost > 0
+        assert dst_hv.stats("vm").remote_fills >= 1
+
+    def test_source_frames_freed_destination_charged(self, migration_rack):
+        rack = migration_rack
+        src_free0 = rack.server("src").allocator.free_frames
+        dst_free0 = rack.server("dst").allocator.free_frames
+        vm = _paged_vm(rack)
+        rack.migrate_vm("vm", "src", "dst")
+        assert rack.server("src").allocator.free_frames == src_free0
+        assert (dst_free0 - rack.server("dst").allocator.free_frames
+                == vm.table.resident_pages)
+
+    def test_destroy_after_migration_releases_buffers(self, migration_rack):
+        rack = migration_rack
+        _paged_vm(rack)
+        rack.migrate_vm("vm", "src", "dst")
+        rack.destroy_vm("dst", "vm")
+        allocated = [b for b in rack.controller.db.all_buffers()
+                     if b.allocated]
+        assert allocated == []
+
+    def test_unknown_vm_rejected(self, migration_rack):
+        with pytest.raises(ConfigurationError):
+            migration_rack.migrate_vm("ghost", "src", "dst")
+
+    def test_migrate_back_and_forth(self, migration_rack):
+        rack = migration_rack
+        vm = _paged_vm(rack)
+        rack.migrate_vm("vm", "src", "dst")
+        rack.migrate_vm("vm", "dst", "src")
+        assert "vm" in rack.server("src").hypervisor.vms
+        hv = rack.server("src").hypervisor
+        for ppn in range(vm.spec.total_pages):
+            hv.access(vm, ppn)  # fully functional back home

@@ -1,0 +1,43 @@
+"""The generated experiment report."""
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # quick mode, shrunk further for the test run
+    return generate_report(quick=True, scale_pages=192)
+
+
+class TestReport:
+    def test_contains_every_experiment(self, report_text):
+        for heading in ("Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 8",
+                        "Fig. 9", "Fig. 10", "Table 1", "Table 2",
+                        "Table 3"):
+            assert heading in report_text, heading
+
+    def test_table3_values_embedded(self, report_text):
+        assert "12.67" in report_text
+        assert "11.15" in report_text
+
+    def test_infinite_cells_rendered(self, report_text):
+        assert "∞" in report_text
+
+    def test_markdown_tables_well_formed(self, report_text):
+        lines = report_text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("|") and set(line) <= {"|", "-", " "}:
+                header = lines[i - 1]
+                assert header.startswith("|")
+                assert header.count("|") == line.count("|")
+
+    def test_write_report(self, tmp_path, report_text, monkeypatch):
+        import repro.analysis.report as report_module
+        monkeypatch.setattr(report_module, "generate_report",
+                            lambda quick, seed: report_text)
+        path = str(tmp_path / "report.md")
+        assert write_report(path) == path
+        with open(path) as handle:
+            assert handle.read() == report_text

@@ -1,0 +1,166 @@
+"""The discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.process import PeriodicProcess
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Engine(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fires_in_schedule_order(self):
+        engine = Engine()
+        fired = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(1.0, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        engine.schedule(7.5, lambda: None)
+        engine.run()
+        assert engine.now == 7.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_twice_is_harmless(self):
+        engine = Engine()
+        event = engine.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert engine.run() == 0
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+
+    def test_run_until_then_resume(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        engine.run()
+        assert fired == [10]
+
+    def test_advance(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append(3))
+        engine.advance(2.0)
+        assert fired == [] and engine.now == 2.0
+        engine.advance(2.0)
+        assert fired == [3] and engine.now == 4.0
+
+    def test_callbacks_can_schedule_more_events(self):
+        engine = Engine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                engine.schedule(1.0, lambda: chain(n + 1))
+
+        engine.schedule(1.0, lambda: chain(1))
+        engine.run()
+        assert fired == [1, 2, 3]
+
+    def test_max_events_guards_runaway(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule(0.001, forever)
+
+        engine.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_returns_executed_count(self):
+        engine = Engine()
+        for i in range(5):
+            engine.schedule(float(i), lambda: None)
+        assert engine.run() == 5
+
+    def test_pending_counts_live_events(self):
+        engine = Engine()
+        keep = engine.schedule(1.0, lambda: None)
+        cancelled = engine.schedule(2.0, lambda: None)
+        cancelled.cancel()
+        assert engine.pending() == 1
+        assert keep.time == 1.0
+
+
+class TestPeriodicProcess:
+    def test_fires_every_period(self):
+        engine = Engine()
+        ticks = []
+        proc = PeriodicProcess(engine, 1.0, lambda: ticks.append(engine.now))
+        proc.start()
+        engine.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_ticks(self):
+        engine = Engine()
+        proc = PeriodicProcess(engine, 1.0, lambda: None)
+        proc.start()
+        engine.run(until=2.5)
+        proc.stop()
+        engine.run(until=10.0)
+        assert proc.ticks == 2
+        assert not proc.running
+
+    def test_action_can_stop_itself(self):
+        engine = Engine()
+        proc = PeriodicProcess(engine, 1.0, lambda: proc.stop())
+        proc.start()
+        engine.run(until=10.0)
+        assert proc.ticks == 1
+
+    def test_double_start_is_noop(self):
+        engine = Engine()
+        proc = PeriodicProcess(engine, 1.0, lambda: None)
+        proc.start()
+        proc.start()
+        engine.run(until=1.5)
+        assert proc.ticks == 1
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PeriodicProcess(Engine(), 0.0, lambda: None)

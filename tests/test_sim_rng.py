@@ -1,0 +1,69 @@
+"""Deterministic RNG helpers."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(7).fork(3)
+        b = DeterministicRng(7).fork(3)
+        assert a.random() == b.random()
+
+    def test_fork_streams_are_independent(self):
+        base = DeterministicRng(7)
+        assert base.fork(1).random() != base.fork(2).random()
+
+
+class TestZipf:
+    def test_values_in_range(self):
+        rng = DeterministicRng(1)
+        samples = [rng.zipf(100, 1.0) for _ in range(500)]
+        assert all(0 <= s < 100 for s in samples)
+
+    def test_low_ranks_most_popular(self):
+        rng = DeterministicRng(1)
+        samples = [rng.zipf(1000, 1.2) for _ in range(5000)]
+        top_decile = sum(1 for s in samples if s < 100)
+        assert top_decile > len(samples) * 0.5
+
+    def test_higher_alpha_more_skew(self):
+        low = DeterministicRng(1)
+        high = DeterministicRng(1)
+        low_hits = sum(1 for _ in range(3000) if low.zipf(1000, 0.8) < 10)
+        high_hits = sum(1 for _ in range(3000) if high.zipf(1000, 2.0) < 10)
+        assert high_hits > low_hits
+
+    def test_single_element(self):
+        assert DeterministicRng(1).zipf(1, 1.0) == 0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).zipf(0, 1.0)
+
+
+class TestLognormalClamped:
+    def test_within_bounds(self):
+        rng = DeterministicRng(3)
+        for _ in range(200):
+            value = rng.lognormal_clamped(0.0, 2.0, lo=0.5, hi=3.0)
+            assert 0.5 <= value <= 3.0
+
+    def test_mean_tracks_mu(self):
+        rng = DeterministicRng(3)
+        import math
+        samples = [rng.lognormal_clamped(math.log(10), 0.1, lo=0.1, hi=1000)
+                   for _ in range(2000)]
+        mean = sum(samples) / len(samples)
+        assert 9.0 < mean < 11.0

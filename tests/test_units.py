@@ -1,0 +1,70 @@
+"""Units and conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestSizes:
+    def test_binary_prefixes(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024 ** 2
+        assert units.GiB == 1024 ** 3
+        assert units.TiB == 1024 ** 4
+
+    def test_page_size_is_4k(self):
+        assert units.PAGE_SIZE == 4096
+
+    def test_default_buff_size_is_page_multiple(self):
+        assert units.DEFAULT_BUFF_SIZE % units.PAGE_SIZE == 0
+
+
+class TestPages:
+    def test_exact_multiple(self):
+        assert units.pages(8 * units.PAGE_SIZE) == 8
+
+    def test_rounds_up(self):
+        assert units.pages(units.PAGE_SIZE + 1) == 2
+
+    def test_zero(self):
+        assert units.pages(0) == 0
+
+    def test_one_byte_needs_a_page(self):
+        assert units.pages(1) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.pages(-1)
+
+
+class TestBuffersFor:
+    def test_exact(self):
+        assert units.buffers_for(4 * units.MiB, buff_size=units.MiB) == 4
+
+    def test_rounds_up(self):
+        assert units.buffers_for(units.MiB + 1, buff_size=units.MiB) == 2
+
+    def test_zero_size(self):
+        assert units.buffers_for(0) == 0
+
+    def test_invalid_buff_size(self):
+        with pytest.raises(ValueError):
+            units.buffers_for(1, buff_size=0)
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            units.buffers_for(-5)
+
+
+class TestFormatting:
+    def test_fmt_size_gib(self):
+        assert units.fmt_size(6 * units.GiB) == "6.0 GiB"
+
+    def test_fmt_size_bytes(self):
+        assert units.fmt_size(100) == "100 B"
+
+    def test_fmt_time_ranges(self):
+        assert "ms" in units.fmt_time(0.002)
+        assert "us" in units.fmt_time(3e-6)
+        assert "ns" in units.fmt_time(5e-9)
+        assert units.fmt_time(2.0).endswith(" s")

@@ -1,0 +1,107 @@
+"""Working-set estimation via accessed-bit sampling."""
+
+import pytest
+
+from repro.core.rack import Rack
+from repro.errors import ConfigurationError
+from repro.hypervisor.vm import VmSpec
+from repro.hypervisor.wss import WssEstimator
+from repro.units import MiB, PAGE_SIZE
+
+
+@pytest.fixture
+def env():
+    rack = Rack(["host"], memory_bytes=128 * MiB, buff_size=8 * MiB)
+    vm = rack.create_vm("host", VmSpec("vm", 16 * MiB), local_fraction=1.0)
+    hv = rack.server("host").hypervisor
+    return hv, vm
+
+
+def _touch(hv, vm, pages):
+    for ppn in pages:
+        hv.access(vm, ppn)
+
+
+class TestSampling:
+    def test_counts_touched_pages(self, env):
+        hv, vm = env
+        _touch(hv, vm, range(512))  # make them resident first
+        estimator = WssEstimator(vm)
+        estimator.begin_window()
+        _touch(hv, vm, range(100))
+        assert estimator.end_window() == 100
+
+    def test_untouched_resident_pages_excluded(self, env):
+        hv, vm = env
+        _touch(hv, vm, range(512))
+        estimator = WssEstimator(vm)
+        estimator.begin_window()
+        assert estimator.end_window() == 0
+
+    def test_freshly_faulted_pages_count(self, env):
+        hv, vm = env
+        estimator = WssEstimator(vm)
+        estimator.begin_window()
+        _touch(hv, vm, range(64))  # demand-allocated inside the window
+        assert estimator.end_window() == 64
+
+    def test_ewma_smooths_quiet_windows(self, env):
+        hv, vm = env
+        _touch(hv, vm, range(512))
+        estimator = WssEstimator(vm, alpha=0.3)
+        estimator.begin_window()
+        _touch(hv, vm, range(400))
+        estimator.end_window()
+        estimator.begin_window()
+        estimator.end_window()  # a quiet interval
+        assert 200 < estimator.wss_pages < 400  # did not collapse to zero
+
+    def test_estimate_converges_to_steady_state(self, env):
+        hv, vm = env
+        estimator = WssEstimator(vm, alpha=0.5)
+        for _ in range(6):
+            estimator.begin_window()
+            _touch(hv, vm, range(300))
+            estimator.end_window()
+        assert estimator.wss_pages == pytest.approx(300, abs=10)
+        assert estimator.wss_bytes == estimator.wss_pages * PAGE_SIZE
+
+    def test_no_sample_falls_back_to_resident(self, env):
+        hv, vm = env
+        _touch(hv, vm, range(128))
+        estimator = WssEstimator(vm)
+        assert estimator.wss_pages == 128
+
+    def test_end_without_begin_rejected(self, env):
+        hv, vm = env
+        with pytest.raises(ConfigurationError):
+            WssEstimator(vm).end_window()
+
+    def test_invalid_alpha(self, env):
+        hv, vm = env
+        with pytest.raises(ConfigurationError):
+            WssEstimator(vm, alpha=0.0)
+
+
+class TestPlacementRequirement:
+    def test_thirty_percent_rule(self, env):
+        hv, vm = env
+        estimator = WssEstimator(vm, alpha=1.0)
+        estimator.begin_window()
+        _touch(hv, vm, range(1000))
+        estimator.end_window()
+        need = estimator.placement_requirement(0.3)
+        assert need == pytest.approx(0.3 * 1000 * PAGE_SIZE, rel=0.01)
+
+    def test_fraction_of_reserved(self, env):
+        hv, vm = env
+        estimator = WssEstimator(vm, alpha=1.0)
+        estimator.begin_window()
+        _touch(hv, vm, range(vm.spec.total_pages // 2))
+        estimator.end_window()
+        assert estimator.wss_fraction == pytest.approx(0.5, abs=0.01)
+
+    def test_invalid_fraction(self, env):
+        hv, vm = env
+        with pytest.raises(ConfigurationError):
+            WssEstimator(vm).placement_requirement(0.0)
