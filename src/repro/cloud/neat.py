@@ -19,7 +19,7 @@ from typing import List, Optional
 from repro.cloud.model import (ClusterModel, HostModel, HostPowerState,
                                VmInstance)
 from repro.cloud.nova import NovaScheduler
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PlacementError
 
 
 @dataclass
@@ -133,7 +133,7 @@ class NeatConsolidator:
             vm.local_mem_fraction = 1.0
         try:
             target.add_vm(vm)
-        except Exception:
+        except PlacementError:
             source.add_vm(vm)  # roll back
             report.failed_migrations += 1
             return False

@@ -17,7 +17,8 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.core.database import BufferDatabase
 from repro.core.events import EventKind, EventLog
 from repro.core.protocol import BufferDescriptor, BufferKind, Method
-from repro.errors import AllocationError, ControllerError
+from repro.errors import (AllocationError, ControllerError, FencingError,
+                          RpcError)
 from repro.rdma.fabric import RdmaNode
 from repro.rdma.rpc import RpcClient, RpcServer
 from repro.units import DEFAULT_BUFF_SIZE, buffers_for
@@ -29,7 +30,7 @@ class GlobalMemoryController:
     """The rack's memory authority, served over RPC-over-RDMA."""
 
     def __init__(self, node: RdmaNode, buff_size: int = DEFAULT_BUFF_SIZE,
-                 stripe: bool = True):
+                 stripe: bool = True, epoch: int = 1):
         self.node = node
         self.buff_size = buff_size
         #: Round-robin allocations across serving hosts (the paper's
@@ -44,29 +45,79 @@ class GlobalMemoryController:
         self.agent_clients: Dict[str, RpcClient] = {}
         self.rpc = RpcServer(node)
         self.events = EventLog()
+        #: Fencing epoch: bumped on every failover; agents and the
+        #: secondary reject control calls from lower (deposed) epochs.
+        self.epoch = epoch
+        #: Set once this controller learns it has been deposed; every
+        #: subsequent GS_ handler call is rejected (split-brain guard).
+        self.fenced = False
+        #: Installed by :class:`repro.core.recovery.RecoveryCoordinator`.
+        self.recovery = None
         self._register_handlers()
         self.heartbeats_sent = 0
 
     # -- wiring ----------------------------------------------------------
     def _register_handlers(self) -> None:
-        self.rpc.register(Method.GS_GOTO_ZOMBIE.value, self.gs_goto_zombie)
-        self.rpc.register(Method.GS_RECLAIM.value, self.gs_reclaim)
-        self.rpc.register(Method.GS_ALLOC_EXT.value, self.gs_alloc_ext)
-        self.rpc.register(Method.GS_ALLOC_SWAP.value, self.gs_alloc_swap)
-        self.rpc.register(Method.GS_GET_LRU_ZOMBIE.value, self.gs_get_lru_zombie)
-        self.rpc.register(Method.GS_RELEASE.value, self.gs_release)
-        self.rpc.register(Method.GS_TRANSFER.value, self.gs_transfer)
-        self.rpc.register(Method.GS_WAKE.value, self.gs_wake)
-        self.rpc.register(Method.HEARTBEAT.value, self.heartbeat)
+        register = self.rpc.register
+        register(Method.GS_GOTO_ZOMBIE.value, self._guard(self.gs_goto_zombie))
+        register(Method.GS_RECLAIM.value, self._guard(self.gs_reclaim))
+        register(Method.GS_ALLOC_EXT.value, self._guard(self.gs_alloc_ext))
+        register(Method.GS_ALLOC_SWAP.value, self._guard(self.gs_alloc_swap))
+        register(Method.GS_GET_LRU_ZOMBIE.value,
+                 self._guard(self.gs_get_lru_zombie))
+        register(Method.GS_RELEASE.value, self._guard(self.gs_release))
+        register(Method.GS_TRANSFER.value, self._guard(self.gs_transfer))
+        register(Method.GS_WAKE.value, self._guard(self.gs_wake))
+        register(Method.GS_REPORT_FAILURE.value,
+                 self._guard(self.gs_report_failure))
+        # Heartbeat stays unguarded: monitors may still probe a fenced
+        # (deposed) controller without tripping FencingError.
+        register(Method.HEARTBEAT.value, self.heartbeat)
+
+    def _guard(self, handler):
+        """Refuse to serve authority-bearing calls once deposed."""
+        def guarded(*args, **kwargs):
+            if self.fenced:
+                raise FencingError(
+                    f"controller at epoch {self.epoch} is fenced "
+                    "(a newer primary was promoted)"
+                )
+            return handler(*args, **kwargs)
+        return guarded
 
     def attach_agent(self, host: str, client: RpcClient) -> None:
         """Register the RPC path to ``host``'s remote-mem-mgr."""
         self.agent_clients[host] = client
-        self.known_hosts.add(host)
+        if host not in self.known_hosts:
+            self.known_hosts.add(host)
+            self._emit("host_add", (host,))
+
+    def _agent_call(self, host: str, method: Method, *args):
+        """Epoch-stamped RPC to one agent (fenced on the receiving side)."""
+        client = self.agent_clients.get(host)
+        if client is None:
+            raise ControllerError(
+                f"no agent channel to {host!r} for {method.value}"
+            )
+        try:
+            return client.call(method.value, *args, epoch=self.epoch)
+        except FencingError:
+            self._mark_fenced()
+            raise
+
+    def _mark_fenced(self) -> None:
+        if not self.fenced:
+            self.fenced = True
+            self.events.emit(EventKind.CONTROLLER_FENCED, self.node.name,
+                             epoch=self.epoch)
 
     def _emit(self, op: str, args: tuple) -> None:
         if self.mirror is not None:
-            self.mirror(op, args)
+            try:
+                self.mirror(op, args)
+            except FencingError:
+                self._mark_fenced()
+                raise
 
     def _flush_journal(self, start: int) -> None:
         """Mirror every database mutation journaled since ``start``."""
@@ -78,6 +129,17 @@ class GlobalMemoryController:
         self.heartbeats_sent += 1
         return "alive"
 
+    def gs_report_failure(self, reporter: str, host: str) -> bool:
+        """A user server reports failed one-sided verbs against ``host``.
+
+        Delegated to the recovery coordinator (when one is attached),
+        which probes the host and — if it really is down — invalidates
+        its buffers rack-wide.  Returns True when recovery was initiated.
+        """
+        if self.recovery is None:
+            return False
+        return self.recovery.report_failure(reporter, host)
+
     def gs_goto_zombie(self, host: str,
                        buffers: List[BufferDescriptor]) -> int:
         """A server announces Sz entry and lends ``buffers``.
@@ -86,7 +148,9 @@ class GlobalMemoryController:
         Returns the number of buffers now lent by the host.
         """
         mark = len(self.db.journal)
-        self.known_hosts.add(host)
+        if host not in self.known_hosts:
+            self.known_hosts.add(host)
+            self._emit("host_add", (host,))
         self.zombie_hosts.add(host)
         self._emit("zombie_add", (host,))
         for descriptor in buffers:
@@ -281,12 +345,12 @@ class GlobalMemoryController:
 
     def _grow_pool_from_active(self, requesting_user: str) -> None:
         """Ask active servers to lend more memory (``AS_get_free_mem``)."""
-        for host, client in sorted(self.agent_clients.items()):
+        for host in sorted(self.agent_clients):
             if host == requesting_user or host in self.zombie_hosts:
                 continue
             try:
-                new_buffers = client.call(Method.AS_GET_FREE_MEM.value)
-            except Exception:
+                new_buffers = self._agent_call(host, Method.AS_GET_FREE_MEM)
+            except RpcError:
                 continue  # unreachable/unwilling active server: skip it
             for descriptor in new_buffers:
                 if descriptor.buffer_id not in self.db:
@@ -310,20 +374,44 @@ class GlobalMemoryController:
         return freed
 
     def _revoke(self, buffers: List[BufferDescriptor]) -> None:
-        """Send ``US_reclaim`` to every affected user, grouped per user."""
+        """Send ``US_reclaim`` to every affected user, grouped per user.
+
+        Channels are validated *before* the first revocation goes out, so
+        a missing agent can no longer abort the batch half way through.
+        If an RPC still fails mid-batch (e.g. a partition that appeared
+        between validation and the call), a compensating
+        ``REVOKE_FAILED`` event records exactly which users already
+        dropped their leases, so the journal consumer can reconcile.
+        """
         per_user: Dict[str, List[int]] = {}
         for descriptor in buffers:
             if descriptor.user is not None:
                 per_user.setdefault(descriptor.user, []).append(
                     descriptor.buffer_id
                 )
+        missing = sorted(u for u in per_user if u not in self.agent_clients)
+        if missing:
+            raise ControllerError(
+                f"no agent channel to {missing!r} for US_reclaim "
+                "(validated before any revocation was sent)"
+            )
+        revoked: List[str] = []
         for user, ids in sorted(per_user.items()):
-            client = self.agent_clients.get(user)
-            if client is None:
-                raise ControllerError(
-                    f"no agent channel to {user!r} for US_reclaim"
+            try:
+                self._agent_call(user, Method.US_RECLAIM, ids)
+            except RpcError as exc:
+                self.events.emit(
+                    EventKind.REVOKE_FAILED, user,
+                    completed_users=list(revoked),
+                    pending_users=[u for u in sorted(per_user)
+                                   if u not in revoked and u != user],
+                    buffers=ids, error=type(exc).__name__,
                 )
-            client.call(Method.US_RECLAIM.value, ids)
+                raise ControllerError(
+                    f"US_reclaim to {user!r} failed after "
+                    f"{len(revoked)} user(s) already revoked: {exc}"
+                ) from exc
+            revoked.append(user)
 
     # -- introspection -----------------------------------------------------
     def pool_summary(self) -> Dict[str, int]:

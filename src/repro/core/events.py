@@ -29,6 +29,11 @@ class EventKind(enum.Enum):
     VM_DESTROYED = "vm-destroyed"
     VM_MIGRATED = "vm-migrated"
     FAILOVER = "failover"
+    HOST_LOST = "host-lost"
+    HOST_RECOVERED = "host-recovered"
+    BUFFERS_INVALIDATED = "buffers-invalidated"
+    REVOKE_FAILED = "revoke-failed"
+    CONTROLLER_FENCED = "controller-fenced"
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.protocol import BufferDescriptor, BufferKind, Method
-from repro.errors import BufferError_, ControllerError
+from repro.errors import BufferError_, ControllerError, FencingError, RpcError
 from repro.memory.buffers import BufferLease, RemotePageStore
 from repro.memory.frames import Frame, FrameAllocator
 from repro.rdma.fabric import RdmaNode
@@ -56,11 +56,20 @@ class RemoteMemoryManager:
         self.controller: Optional[RpcClient] = None
         self.rpc = RpcServer(node)
         self.rpc.register(Method.US_RECLAIM.value, self.us_reclaim)
+        self.rpc.register(Method.US_INVALIDATE.value, self.us_invalidate)
         self.rpc.register(Method.AS_GET_FREE_MEM.value, self.as_get_free_mem)
+        self.rpc.register(Method.AS_RESYNC.value, self.as_resync)
+        self.rpc.register(Method.HEARTBEAT.value, self.heartbeat)
         self._lent: Dict[int, _LentBuffer] = {}
         self._stores_by_buffer: Dict[int, RemotePageStore] = {}
         self._stores_needing_repair: List[RemotePageStore] = []
         self.reclaims_served = 0
+        self.invalidations_served = 0
+        self.pages_rehomed_after_loss = 0
+        self.pages_fallback_after_loss = 0
+        #: Highest controller fencing epoch seen; stale-epoch calls from a
+        #: deposed (split-brain) primary are rejected.
+        self.controller_epoch = 0
 
     # -- wiring ----------------------------------------------------------
     def attach_controller(self, client: RpcClient) -> None:
@@ -71,6 +80,26 @@ class RemoteMemoryManager:
         if self.controller is None:
             raise ControllerError(f"{self.host}: no controller attached")
         return self.controller.call(method.value, *args)
+
+    def _fence(self, epoch: Optional[int]) -> None:
+        """Reject calls from a deposed primary (stale fencing epoch).
+
+        ``epoch=None`` (direct in-process calls, unit tests) bypasses the
+        check; any fenced RPC advances the watermark monotonically.
+        """
+        if epoch is None:
+            return
+        if epoch < self.controller_epoch:
+            raise FencingError(
+                f"{self.host}: rejecting controller call with stale epoch "
+                f"{epoch} (current {self.controller_epoch})"
+            )
+        self.controller_epoch = epoch
+
+    def heartbeat(self, epoch: Optional[int] = None) -> str:
+        """Controller-invoked liveness probe of this serving host."""
+        self._fence(epoch)
+        return "alive"
 
     # -- lender side ---------------------------------------------------------
     @property
@@ -115,11 +144,46 @@ class RemoteMemoryManager:
     def announce_wake(self) -> None:
         self._call(Method.GS_WAKE, self.host)
 
-    def as_get_free_mem(self) -> List[BufferDescriptor]:
+    def as_get_free_mem(self,
+                        epoch: Optional[int] = None) -> List[BufferDescriptor]:
         """Controller-invoked: an active server lends part of its slack."""
+        self._fence(epoch)
         free_bytes = self.allocator.free_frames * PAGE_SIZE
         lendable = int(free_bytes * (1.0 - self.lend_reserve_fraction))
         return self.carve_buffers(max_bytes=lendable)
+
+    def as_resync(self, buffer_ids: List[int],
+                  epoch: Optional[int] = None) -> int:
+        """Controller-invoked after this host healed from a crash/partition.
+
+        The controller already invalidated ``buffer_ids`` rack-wide while
+        we were gone; drop the stale lender-side records and take the
+        frames back so they can be lent again.  Returns bytes recovered.
+        """
+        self._fence(epoch)
+        recovered = 0
+        for buffer_id in buffer_ids:
+            lent = self._lent.pop(buffer_id, None)
+            if lent is None:
+                continue  # never ours, or already reclaimed
+            self.node.deregister_mr(lent.rkey)
+            self.allocator.free_many(lent.frames)
+            recovered += lent.descriptor.size_bytes
+        return recovered
+
+    def reset_after_crash(self) -> int:
+        """Model a reboot: all lender-side state is gone, frames are free.
+
+        Used by the fault harness for *crash* (as opposed to partition)
+        faults, where DRAM content did not survive.  Returns the number of
+        buffer records dropped.
+        """
+        dropped = len(self._lent)
+        for lent in self._lent.values():
+            self.node.deregister_mr(lent.rkey)
+            self.allocator.free_many(lent.frames)
+        self._lent.clear()
+        return dropped
 
     def reclaim(self, nb_buffers: int) -> int:
         """Take ``nb_buffers`` of our memory back; returns bytes recovered."""
@@ -222,12 +286,14 @@ class RemoteMemoryManager:
         if ids:
             self._call(Method.GS_TRANSFER, old_user, self.host, ids)
 
-    def us_reclaim(self, buffer_ids: List[int]) -> int:
+    def us_reclaim(self, buffer_ids: List[int],
+                   epoch: Optional[int] = None) -> int:
         """Controller-invoked revocation of buffers we are *using*.
 
         The store re-homes each page (remaining leases first, local backup
         as the slow path); outstanding page keys keep working.
         """
+        self._fence(epoch)
         rehomed = 0
         for buffer_id in buffer_ids:
             store = self._stores_by_buffer.pop(buffer_id, None)
@@ -240,6 +306,44 @@ class RemoteMemoryManager:
             rehomed += 1
         self.reclaims_served += 1
         return rehomed
+
+    def us_invalidate(self, host: str, buffer_ids: List[int],
+                      epoch: Optional[int] = None) -> int:
+        """Controller-invoked: serving host ``host`` is dead, drop its leases.
+
+        Unlike ``US_reclaim`` (a cooperative revocation whose buffer is
+        still readable), the remote content is *gone*; every affected
+        store re-homes the lost pages from its local-storage mirror onto
+        surviving leases, falling back to local serving until
+        :meth:`repair_stores` wins remote slots back.  Returns the number
+        of pages that had to fall back to local storage.
+        """
+        self._fence(epoch)
+        affected: List[RemotePageStore] = []
+        for buffer_id in buffer_ids:
+            store = self._stores_by_buffer.pop(buffer_id, None)
+            if store is not None and store not in affected:
+                affected.append(store)
+        fallbacks = 0
+        for store in affected:
+            rehomed, fell_back = store.drop_host(host)
+            self.pages_rehomed_after_loss += rehomed
+            self.pages_fallback_after_loss += fell_back
+            fallbacks += fell_back
+            if (store.fallback_count
+                    and store not in self._stores_needing_repair):
+                self._stores_needing_repair.append(store)
+        self.invalidations_served += 1
+        return fallbacks
+
+    def report_host_failure(self, host: str) -> bool:
+        """User-side escalation: a one-sided verb to ``host`` just failed.
+
+        Forwards ``GS_report_failure`` so the controller can probe the
+        host and trigger rack-wide recovery; returns the controller's
+        verdict (True when recovery was initiated).
+        """
+        return self._call(Method.GS_REPORT_FAILURE, self.host, host)
 
     def repair_stores(self) -> int:
         """Re-home pages stranded on the local backup after reclaims.
@@ -258,7 +362,13 @@ class RemoteMemoryManager:
             shortfall = store.fallback_count * PAGE_SIZE
             if shortfall <= 0:
                 continue
-            self.extend_swap(store, shortfall)
+            try:
+                self.extend_swap(store, shortfall)
+            except RpcError:
+                # Controller unreachable right now; pages stay on the
+                # local mirror and the next repair pass tries again.
+                self._stores_needing_repair.append(store)
+                continue
             restored += store.restore_fallbacks()
             if store.fallback_count:
                 self._stores_needing_repair.append(store)

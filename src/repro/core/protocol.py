@@ -27,16 +27,26 @@ class Method(str, enum.Enum):
     GS_TRANSFER = "GS_transfer"        # migration: move buffer ownership
     GS_WAKE = "GS_wake"                # zombie became active again
     US_RECLAIM = "US_reclaim"
+    US_INVALIDATE = "US_invalidate"    # serving host died: drop its leases
     AS_GET_FREE_MEM = "AS_get_free_mem"
+    AS_RESYNC = "AS_resync"            # healed lender drops stale lent state
+    GS_REPORT_FAILURE = "GS_report_failure"  # user reports a dead server
     MIRROR_OP = "mirror_op"            # controller → secondary replication
     HEARTBEAT = "heartbeat"
 
 
 class BufferKind(str, enum.Enum):
-    """Who serves a buffer: a zombie (Sz) or an active (S0) server."""
+    """Who serves a buffer: a zombie (Sz) or an active (S0) server.
+
+    ``LOST`` is a transient label recovery applies while a serving host
+    is considered dead: the buffer's content is only as good as the
+    users' local-storage mirror, and the record is purged once every
+    affected user has been invalidated.
+    """
 
     ZOMBIE = "zombie"
     ACTIVE = "active"
+    LOST = "lost"
 
 
 @dataclass(frozen=True)

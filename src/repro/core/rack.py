@@ -12,14 +12,17 @@ from typing import Dict, List, Optional
 
 from repro.core.controller import GlobalMemoryController
 from repro.core.events import EventKind
+from repro.core.protocol import Method
+from repro.core.recovery import RecoveryCoordinator
 from repro.core.secondary import SecondaryController
 from repro.core.server import RackServer
-from repro.errors import ConfigurationError, PlacementError
+from repro.errors import ConfigurationError, PlacementError, RpcError
 from repro.hypervisor.vm import Vm, VmSpec
 from repro.rdma.costs import RdmaCostModel
 from repro.rdma.fabric import Fabric
-from repro.rdma.rpc import RpcClient
+from repro.rdma.rpc import RetryPolicy, RpcClient
 from repro.sim.engine import Engine
+from repro.sim.rng import DeterministicRng
 from repro.units import DEFAULT_BUFF_SIZE, GiB
 
 #: Nova's relaxed filter: a host qualifies if it can place at least this
@@ -35,7 +38,9 @@ class Rack:
                  buff_size: int = DEFAULT_BUFF_SIZE,
                  engine: Optional[Engine] = None,
                  costs: Optional[RdmaCostModel] = None,
-                 heartbeat_period_s: float = 1.0):
+                 heartbeat_period_s: float = 1.0,
+                 stripe: bool = True,
+                 rng_seed: int = 0):
         if not server_names:
             raise ConfigurationError("a rack needs at least one server")
         if len(set(server_names)) != len(server_names):
@@ -43,19 +48,44 @@ class Rack:
         self.engine = engine or Engine()
         self.fabric = Fabric(costs=costs)
         self.buff_size = buff_size
+        self.stripe = stripe
+        self.rng = DeterministicRng(rng_seed)
+        #: One policy for request/response control traffic, retried under
+        #: backoff, and one single-attempt policy for monitoring paths
+        #: (heartbeats have their own period as the retry loop).
+        self.retry_policy = RetryPolicy(rng=self.rng.fork(1),
+                                        clock=lambda: self.engine.now,
+                                        cooldown_s=5.0)
+        self.monitor_policy = RetryPolicy.no_retry(
+            clock=lambda: self.engine.now, cooldown_s=5.0
+        )
 
         # Dedicated controller machines (always-on S0 nodes).
         ctr_node = self.fabric.add_node("global-mem-ctr")
         sec_node = self.fabric.add_node("secondary-ctr")
-        self.controller = GlobalMemoryController(ctr_node, buff_size=buff_size)
+        self.controller = GlobalMemoryController(ctr_node, buff_size=buff_size,
+                                                 stripe=stripe)
         self.controller.events._clock = lambda: self.engine.now
         self.secondary = SecondaryController(
             sec_node, self.engine, heartbeat_period_s=heartbeat_period_s
         )
-        mirror_client = RpcClient(ctr_node, self.secondary.rpc)
-        self.controller.mirror = self.secondary.attach_rpc_mirror(mirror_client)
-        self.secondary.watch(RpcClient(sec_node, self.controller.rpc))
+        mirror_client = RpcClient(ctr_node, self.secondary.rpc,
+                                  retry_policy=self.retry_policy)
+        primary = self.controller
+        self.controller.mirror = self.secondary.attach_rpc_mirror(
+            mirror_client, epoch_fn=lambda: primary.epoch
+        )
+        self.secondary.watch(RpcClient(sec_node, self.controller.rpc,
+                                       retry_policy=self.monitor_policy))
         self.secondary.on_failover = self._failover
+
+        # Serving-host failure detection + rack-wide invalidation.  The
+        # coordinator reads ``self.controller`` lazily so it follows a
+        # secondary promotion; monitoring starts on demand.
+        self.recovery = RecoveryCoordinator(lambda: self.controller,
+                                            self.engine)
+        self.controller.recovery = self.recovery
+        self._crashed: set = set()
 
         # General-purpose servers.
         self.servers: Dict[str, RackServer] = {}
@@ -64,10 +94,12 @@ class Rack:
                                 memory_bytes=memory_bytes,
                                 buff_size=buff_size)
             server.manager.attach_controller(
-                RpcClient(server.node, self.controller.rpc)
+                RpcClient(server.node, self.controller.rpc,
+                          retry_policy=self.retry_policy)
             )
             self.controller.attach_agent(
-                name, RpcClient(ctr_node, server.manager.rpc)
+                name, RpcClient(ctr_node, server.manager.rpc,
+                                retry_policy=self.retry_policy)
             )
             self.servers[name] = server
 
@@ -173,18 +205,40 @@ class Rack:
 
     # -- high availability ------------------------------------------------
     def _failover(self, secondary: SecondaryController) -> None:
-        """Promote the secondary and re-wire every agent to it."""
-        new_controller = secondary.promote(self.buff_size)
+        """Promote the secondary and re-wire every agent to it.
+
+        The promotion bumps the fencing epoch; re-attaching the agents
+        (whose clients now stamp the new epoch on every call) is what
+        fences a healed old primary — its next stale-epoch call is
+        rejected rack-wide.
+        """
+        agent_clients = {
+            name: RpcClient(secondary.node, server.manager.rpc,
+                            retry_policy=self.retry_policy)
+            for name, server in self.servers.items()
+        }
+        new_controller = secondary.promote(self.buff_size,
+                                           agent_clients=agent_clients,
+                                           stripe=self.stripe)
         for name, server in self.servers.items():
             server.manager.attach_controller(
-                RpcClient(server.node, new_controller.rpc)
-            )
-            new_controller.attach_agent(
-                name, RpcClient(secondary.node, server.manager.rpc)
+                RpcClient(server.node, new_controller.rpc,
+                          retry_policy=self.retry_policy)
             )
         new_controller.events = self.controller.events
+        new_controller.recovery = self.recovery
         self.controller = new_controller
-        self.events.emit(EventKind.FAILOVER, "secondary-ctr")
+        # Make sure every reachable agent learns the new epoch *now*, so
+        # a healed old primary is fenced even if the new one stays quiet.
+        for name, server in sorted(self.servers.items()):
+            if not server.node.cpu_alive or not self.fabric.is_reachable(name):
+                continue  # zombies/partitioned hosts learn on first contact
+            try:
+                new_controller._agent_call(name, Method.HEARTBEAT)
+            except RpcError:
+                continue
+        self.events.emit(EventKind.FAILOVER, "secondary-ctr",
+                         epoch=new_controller.epoch)
 
     def kill_controller(self) -> None:
         """Simulate a primary-controller crash (for failover tests).
@@ -192,8 +246,40 @@ class Rack:
         The controller node keeps no platform, so we model the crash by
         unregistering its heartbeat handler.
         """
-        from repro.core.protocol import Method
         self.controller.rpc.unregister(Method.HEARTBEAT.value)
+
+    # -- fault harness hooks ------------------------------------------------
+    def start_host_monitoring(self, probe_period_s: float = 1.0,
+                              miss_threshold: int = 3) -> None:
+        """Begin probing serving hosts for crash/partition recovery."""
+        self.recovery.miss_threshold = miss_threshold
+        self.recovery._monitor.period = probe_period_s
+        self.recovery.start()
+
+    def crash_server(self, name: str) -> None:
+        """Hard-kill a server: link down now, DRAM content gone.
+
+        Pair with :meth:`heal_server`, which models the reboot.
+        """
+        self.server(name)  # validate
+        self.fabric.partition(name)
+        self._crashed.add(name)
+
+    def heal_server(self, name: str) -> None:
+        """Reconnect a partitioned server; a crashed one reboots to S0.
+
+        After a crash the lender-side state did not survive: the manager
+        forgets its lent buffers and takes the frames back, and the
+        recovery coordinator's ``AS_resync`` (triggered by the next
+        successful probe) is then a no-op.
+        """
+        server = self.server(name)
+        self.fabric.heal(name)
+        if name in self._crashed:
+            self._crashed.discard(name)
+            if not server.platform.state.cpu_alive:
+                server.platform.wake()  # reboot straight to S0
+            server.manager.reset_after_crash()
 
     # -- rack-wide accounting ------------------------------------------------
     @property

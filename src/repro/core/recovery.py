@@ -1,0 +1,364 @@
+"""Serving-host crash recovery and the scripted fault-schedule harness.
+
+The paper's robustness story has three legs: striping "minimizes the
+performance impact caused by a remote server failure" (§4.3), every remote
+write is mirrored to local storage (footnote 3), and the controller pair is
+HA (§4.2).  This module adds the missing coordination: *detecting* a dead
+or partitioned serving host, invalidating its buffers rack-wide
+(``US_invalidate``), and measuring the blast radius so striping's benefit
+is quantifiable.
+
+Detection uses two signals:
+
+- **probes** — a :class:`~repro.sim.process.PeriodicProcess` heartbeats
+  every known host through the controller's agent channels.  Zombie hosts
+  (CPU off by design) are probed on the NIC-to-DRAM path instead, the same
+  path their one-sided verbs use;
+- **user reports** — a user whose one-sided verb failed escalates through
+  ``GS_report_failure``; the coordinator re-probes and, if the host really
+  is down, recovers immediately instead of waiting out the miss threshold.
+
+Recovery marks the host's buffers ``LOST`` (journaled and mirrored),
+notifies every affected user with ``US_invalidate`` — users re-home the
+lost pages from their local-storage mirror — purges the records, and logs
+a :class:`HostRecoveryStats` incident for benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.controller import GlobalMemoryController
+from repro.core.events import EventKind
+from repro.core.protocol import BufferKind, Method
+from repro.errors import (ConfigurationError, ControllerError, FencingError,
+                          RpcError)
+from repro.sim.engine import Engine
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import DeterministicRng
+
+ControllerFn = Callable[[], GlobalMemoryController]
+
+
+@dataclass
+class HostRecoveryStats:
+    """One serving-host-loss incident, as measured by the controller."""
+
+    host: str
+    detected_at: float
+    #: Every buffer record the host was serving (free ones included).
+    buffers_lost: int = 0
+    #: The allocated subset — what users actually felt.
+    allocated_buffers_lost: int = 0
+    users_affected: int = 0
+    #: Worst single user's lost-buffer count: the per-failure blast
+    #: radius striping is supposed to bound.
+    max_user_buffers_lost: int = 0
+    user_buffers_lost: Dict[str, int] = field(default_factory=dict)
+    #: Pages that found no surviving remote slot and are served from the
+    #: local mirror until repair.
+    pages_fallback: int = 0
+    #: Users we could not notify (unreachable themselves); they resync
+    #: when they heal.
+    notify_failures: int = 0
+    recovered_at: Optional[float] = None
+
+
+class RecoveryCoordinator:
+    """Rack-wide failure detector + buffer invalidator for the primary.
+
+    Built with a *callable* returning the current primary so the same
+    coordinator keeps working across a secondary promotion.
+    """
+
+    def __init__(self, controller_fn: ControllerFn, engine: Engine,
+                 probe_period_s: float = 1.0, miss_threshold: int = 3):
+        if miss_threshold < 1:
+            raise ConfigurationError(
+                f"miss_threshold must be >= 1, got {miss_threshold}"
+            )
+        self._controller_fn = controller_fn
+        self.engine = engine
+        self.miss_threshold = miss_threshold
+        self.lost_hosts: Set[str] = set()
+        self.incidents: List[HostRecoveryStats] = []
+        self._open_incident: Dict[str, HostRecoveryStats] = {}
+        self._misses: Dict[str, int] = {}
+        #: Buffer ids invalidated per lost host, owed an ``AS_resync``.
+        self._pending_resync: Dict[str, List[int]] = {}
+        self.probes_sent = 0
+        self.reports_received = 0
+        self._monitor = PeriodicProcess(engine, probe_period_s,
+                                        self.probe_tick,
+                                        name="host-recovery-probe")
+
+    @property
+    def controller(self) -> GlobalMemoryController:
+        return self._controller_fn()
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        self._monitor.start()
+
+    def stop(self) -> None:
+        self._monitor.stop()
+
+    @property
+    def monitoring(self) -> bool:
+        return self._monitor.running
+
+    # -- detection ---------------------------------------------------------
+    def probe_tick(self) -> None:
+        """One monitoring round over every known serving host."""
+        controller = self.controller
+        if controller.fenced:
+            return
+        for host in sorted(controller.known_hosts):
+            alive = self._probe(host)
+            if host in self.lost_hosts:
+                if alive:
+                    self.declare_host_recovered(host)
+                continue
+            if alive:
+                self._misses[host] = 0
+                continue
+            self._misses[host] = self._misses.get(host, 0) + 1
+            if self._misses[host] >= self.miss_threshold:
+                self.declare_host_lost(host)
+        self._flush_pending_resyncs()
+
+    def _probe(self, host: str) -> bool:
+        """Liveness check fitted to the host's role.
+
+        Zombies answer on the NIC-to-DRAM path only; active hosts answer
+        RPC.  An *intentionally* suspended host (S3/S4/S5, nothing lent
+        from there) is not a failure.
+        """
+        controller = self.controller
+        fabric = controller.node.fabric
+        self.probes_sent += 1
+        if not fabric.is_reachable(host):
+            return False
+        if host in controller.zombie_hosts:
+            return fabric.probe_memory_path(host)
+        node = fabric.nodes.get(host)
+        if node is None:
+            return False
+        if not node.cpu_alive:
+            return True  # asleep on purpose, not crashed
+        try:
+            controller._agent_call(host, Method.HEARTBEAT)
+            return True
+        except RpcError:
+            return False
+        except ControllerError:
+            return True  # no channel to judge by; don't false-positive
+
+    def report_failure(self, reporter: str, host: str) -> bool:
+        """``GS_report_failure`` path: verify the report, then recover.
+
+        A verb failure plus a failed probe is treated as conclusive —
+        the miss threshold exists to debounce the *periodic* monitor, not
+        to delay recovery when a user is already taking faults.
+        """
+        self.reports_received += 1
+        if host not in self.controller.known_hosts:
+            return False
+        if host in self.lost_hosts:
+            return True
+        if self._probe(host):
+            return False
+        self.declare_host_lost(host, reported_by=reporter)
+        return True
+
+    # -- recovery ----------------------------------------------------------
+    def declare_host_lost(self, host: str,
+                          reported_by: Optional[str] = None
+                          ) -> Optional[HostRecoveryStats]:
+        """Invalidate every buffer served by ``host`` rack-wide."""
+        controller = self.controller
+        if host in self.lost_hosts:
+            return None
+        mark = len(controller.db.journal)
+        descriptors = sorted(controller.db.by_host(host),
+                             key=lambda b: b.buffer_id)
+        stats = HostRecoveryStats(host=host, detected_at=self.engine.now,
+                                  buffers_lost=len(descriptors))
+        per_user: Dict[str, List[int]] = {}
+        for descriptor in descriptors:
+            controller.db.set_kind(descriptor.buffer_id, BufferKind.LOST)
+            if descriptor.user is not None:
+                per_user.setdefault(descriptor.user, []).append(
+                    descriptor.buffer_id
+                )
+        stats.users_affected = len(per_user)
+        stats.user_buffers_lost = {u: len(ids) for u, ids in per_user.items()}
+        stats.allocated_buffers_lost = sum(stats.user_buffers_lost.values())
+        stats.max_user_buffers_lost = max(stats.user_buffers_lost.values(),
+                                          default=0)
+        for user, ids in sorted(per_user.items()):
+            try:
+                fallbacks = controller._agent_call(
+                    user, Method.US_INVALIDATE, host, ids
+                )
+                stats.pages_fallback += fallbacks
+                controller.events.emit(EventKind.BUFFERS_INVALIDATED, user,
+                                       serving_host=host, buffers=len(ids),
+                                       fallback_pages=fallbacks)
+            except FencingError:
+                raise  # we were deposed mid-recovery: abort loudly
+            except (RpcError, ControllerError):
+                stats.notify_failures += 1
+        for descriptor in descriptors:
+            controller.db.remove(descriptor.buffer_id)
+            controller.allocation_purpose.pop(descriptor.buffer_id, None)
+        if host in controller.zombie_hosts:
+            controller.zombie_hosts.discard(host)
+            controller._emit("zombie_remove", (host,))
+        controller._flush_journal(mark)
+        self.lost_hosts.add(host)
+        self._misses[host] = 0
+        self._pending_resync[host] = [d.buffer_id for d in descriptors]
+        self.incidents.append(stats)
+        self._open_incident[host] = stats
+        controller.events.emit(
+            EventKind.HOST_LOST, host, buffers=stats.buffers_lost,
+            users=stats.users_affected, fallback_pages=stats.pages_fallback,
+            max_user_buffers=stats.max_user_buffers_lost,
+            reported_by=reported_by or "monitor",
+        )
+        return stats
+
+    def declare_host_recovered(self, host: str) -> None:
+        """A lost host answers probes again: close the incident, resync."""
+        if host not in self.lost_hosts:
+            return
+        self.lost_hosts.discard(host)
+        self._misses[host] = 0
+        stats = self._open_incident.pop(host, None)
+        if stats is not None:
+            stats.recovered_at = self.engine.now
+        self.controller.events.emit(EventKind.HOST_RECOVERED, host)
+        self._try_resync(host)
+
+    def _try_resync(self, host: str) -> None:
+        """Tell a healed lender to drop its stale lent-buffer records."""
+        stale = self._pending_resync.get(host)
+        if not stale:
+            self._pending_resync.pop(host, None)
+            return
+        controller = self.controller
+        node = controller.node.fabric.nodes.get(host)
+        if node is None or not node.cpu_alive:
+            return  # still a zombie (CPU off): resync after it wakes
+        try:
+            controller._agent_call(host, Method.AS_RESYNC, stale)
+        except (RpcError, ControllerError):
+            return  # keep pending; retried on the next probe tick
+        del self._pending_resync[host]
+
+    def _flush_pending_resyncs(self) -> None:
+        for host in sorted(self._pending_resync):
+            if host not in self.lost_hosts:
+                self._try_resync(host)
+
+    # -- introspection -----------------------------------------------------
+    def stats_for(self, host: str) -> List[HostRecoveryStats]:
+        return [s for s in self.incidents if s.host == host]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "incidents": len(self.incidents),
+            "open": len(self.lost_hosts),
+            "pages_fallback": sum(s.pages_fallback for s in self.incidents),
+            "max_user_buffers_lost": max(
+                (s.max_user_buffers_lost for s in self.incidents), default=0
+            ),
+            "probes_sent": self.probes_sent,
+            "reports_received": self.reports_received,
+        }
+
+
+# -- scripted fault schedules -------------------------------------------------
+
+#: Action kinds a schedule may carry.
+PARTITION = "partition"
+HEAL = "heal"
+CRASH = "crash"
+KILL_CONTROLLER = "kill-controller"
+
+_KINDS = (PARTITION, HEAL, CRASH, KILL_CONTROLLER)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault: "partition host X at t=5s"."""
+
+    at_s: float
+    kind: str
+    host: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(f"unknown fault kind {self.kind!r}")
+        if self.kind != KILL_CONTROLLER and not self.host:
+            raise ConfigurationError(f"{self.kind} action needs a host")
+        if self.at_s < 0:
+            raise ConfigurationError(f"fault scheduled in the past: {self.at_s}")
+
+
+class FaultSchedule:
+    """A deterministic, engine-driven sequence of rack faults.
+
+    ``install(rack)`` schedules every action on the rack's sim engine;
+    the ``applied`` log records what actually fired (with timestamps) so
+    chaos tests can correlate faults with recovery events.
+    """
+
+    def __init__(self, actions: List[FaultAction]):
+        self.actions = sorted(actions, key=lambda a: a.at_s)
+        self.applied: List[FaultAction] = []
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def install(self, rack) -> None:
+        for action in self.actions:
+            rack.engine.schedule_at(action.at_s,
+                                    lambda a=action: self._apply(rack, a))
+
+    def _apply(self, rack, action: FaultAction) -> None:
+        if action.kind == PARTITION:
+            rack.fabric.partition(action.host)
+        elif action.kind == CRASH:
+            rack.crash_server(action.host)
+        elif action.kind == HEAL:
+            rack.heal_server(action.host)
+        elif action.kind == KILL_CONTROLLER:
+            rack.kill_controller()
+        self.applied.append(action)
+
+    @classmethod
+    def randomized(cls, hosts: List[str], rng: DeterministicRng,
+                   duration_s: float, faults: int = 4,
+                   min_outage_s: float = 3.0, max_outage_s: float = 8.0,
+                   crash_probability: float = 0.5) -> "FaultSchedule":
+        """A random but replayable schedule: every fault is healed.
+
+        Faults start inside the first 60 % of the run and heal at most
+        ``max_outage_s`` later (clamped to 90 % of the run), so the tail
+        of the schedule always exercises reconvergence.
+        """
+        if not hosts:
+            raise ConfigurationError("randomized schedule needs hosts")
+        actions: List[FaultAction] = []
+        for _ in range(faults):
+            host = rng.choice(sorted(hosts))
+            start = rng.uniform(0.05, 0.60) * duration_s
+            outage = rng.uniform(min_outage_s, max_outage_s)
+            kind = CRASH if rng.random() < crash_probability else PARTITION
+            heal_at = min(start + outage, 0.90 * duration_s)
+            actions.append(FaultAction(start, kind, host))
+            actions.append(FaultAction(heal_at, HEAL, host))
+        return cls(actions)

@@ -9,16 +9,18 @@ a fresh :class:`GlobalMemoryController` is built from the mirrored state.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Set
+from typing import Callable, Dict, Optional, Set
 
 from repro.core.controller import GlobalMemoryController
 from repro.core.database import BufferDatabase
 from repro.core.protocol import Method
-from repro.errors import FailoverError, RpcError
+from repro.errors import FailoverError, FencingError, RpcError
 from repro.rdma.fabric import RdmaNode
 from repro.rdma.rpc import RpcClient, RpcServer
 from repro.sim.engine import Engine
 from repro.sim.process import PeriodicProcess
+
+EpochFn = Callable[[], int]
 
 
 class SecondaryController:
@@ -30,6 +32,13 @@ class SecondaryController:
         self.engine = engine
         self.db = BufferDatabase()
         self.zombie_hosts: Set[str] = set()
+        #: Every host the primary ever attached or saw go zombie — the
+        #: active ones too, so a promotion does not forget them.
+        self.known_hosts: Set[str] = set()
+        #: Highest fencing epoch observed on the mirror channel; after a
+        #: promotion it is the *new* primary's epoch, and mirror ops from
+        #: the deposed primary are rejected with :class:`FencingError`.
+        self.epoch = 1
         self.rpc = RpcServer(node)
         self.rpc.register(Method.MIRROR_OP.value, self.apply_mirror)
         self.miss_threshold = miss_threshold
@@ -43,12 +52,30 @@ class SecondaryController:
                                         name="secondary-heartbeat")
 
     # -- mirroring ---------------------------------------------------------
-    def apply_mirror(self, op: str, args: tuple) -> None:
-        """Apply one mirrored mutation from the primary."""
+    def apply_mirror(self, op: str, args: tuple,
+                     epoch: Optional[int] = None) -> None:
+        """Apply one mirrored mutation from the primary.
+
+        ``epoch`` (when carried, i.e. on the RPC path) fences the mirror
+        stream: a deposed primary that heals and keeps mirroring is
+        rejected instead of silently corrupting the standby state.
+        """
+        if epoch is not None:
+            if epoch < self.epoch:
+                raise FencingError(
+                    f"{self.node.name}: mirror op {op!r} carries stale "
+                    f"epoch {epoch} (current {self.epoch})"
+                )
+            self.epoch = epoch
         if op == "zombie_add":
             self.zombie_hosts.add(args[0])
+            self.known_hosts.add(args[0])
         elif op == "zombie_remove":
             self.zombie_hosts.discard(args[0])
+        elif op == "host_add":
+            self.known_hosts.add(args[0])
+        elif op == "host_remove":
+            self.known_hosts.discard(args[0])
         else:
             self.db.apply(op, args)
 
@@ -62,10 +89,17 @@ class SecondaryController:
             self.apply_mirror(op, args)
         return forward
 
-    def attach_rpc_mirror(self, client: RpcClient):
-        """Fabric-crossing variant: primary mirrors via RPC to our server."""
+    def attach_rpc_mirror(self, client: RpcClient,
+                          epoch_fn: Optional[EpochFn] = None):
+        """Fabric-crossing variant: primary mirrors via RPC to our server.
+
+        ``epoch_fn`` (usually ``lambda: primary.epoch``) stamps every
+        mirrored op with the emitting controller's fencing epoch so a
+        deposed primary cannot keep writing after a failover.
+        """
         def forward(op: str, args: tuple) -> None:
-            client.call(Method.MIRROR_OP.value, op, args)
+            epoch = epoch_fn() if epoch_fn is not None else None
+            client.call(Method.MIRROR_OP.value, op, args, epoch=epoch)
         return forward
 
     # -- heartbeat monitoring -----------------------------------------------
@@ -96,18 +130,31 @@ class SecondaryController:
                 self.on_failover(self)
 
     # -- failover ----------------------------------------------------------
-    def promote(self, buff_size: int) -> GlobalMemoryController:
+    def promote(self, buff_size: int,
+                agent_clients: Optional[Dict[str, RpcClient]] = None,
+                stripe: bool = True) -> GlobalMemoryController:
         """Become the primary, seeded with the mirrored state.
 
-        The caller (the rack) must re-attach every agent's RPC client to
-        the returned controller.
+        Split-brain safety: the fencing epoch is bumped past anything the
+        old primary ever stamped, so its stale mirror ops and agent calls
+        are rejected once the rack has re-learned the new epoch.  The
+        mirrored database (built by replaying the primary's journaled
+        mutations as they arrived) seeds the fresh controller, the full
+        ``known_hosts`` set (active hosts included — not just zombies) is
+        restored, and ``agent_clients`` are re-attached when provided;
+        otherwise the caller (the rack) must re-attach every agent's RPC
+        client to the returned controller.
         """
         if self.promoted is not None:
             raise FailoverError("secondary already promoted")
-        controller = GlobalMemoryController(self.node, buff_size=buff_size)
+        self.epoch += 1
+        controller = GlobalMemoryController(self.node, buff_size=buff_size,
+                                            stripe=stripe, epoch=self.epoch)
         controller.db.load_snapshot(self.db.snapshot())
         controller.zombie_hosts = set(self.zombie_hosts)
-        controller.known_hosts = set(self.zombie_hosts)
+        controller.known_hosts = set(self.known_hosts) | set(self.zombie_hosts)
+        for host, client in sorted((agent_clients or {}).items()):
+            controller.attach_agent(host, client)
         self.promoted = controller
         self._monitor.stop()
         return controller

@@ -47,6 +47,10 @@ class RpcTimeoutError(RpcError):
     """The client polled past its deadline without a server response."""
 
 
+class CircuitOpenError(RpcError):
+    """An RPC was rejected locally because the channel's breaker is open."""
+
+
 class MemoryError_(ReproError):
     """Base class for the memory subsystem (named to avoid shadowing builtins)."""
 
@@ -81,6 +85,14 @@ class ControllerError(ReproError):
 
 class FailoverError(ControllerError):
     """High-availability failover could not be completed."""
+
+
+class FencingError(ControllerError):
+    """A control-plane call carried a stale fencing epoch (split brain)."""
+
+
+class HostLostError(ControllerError):
+    """An operation referenced a serving host declared lost by recovery."""
 
 
 class HypervisorError(ReproError):

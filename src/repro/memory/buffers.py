@@ -18,7 +18,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import BufferError_, SwapError
+from repro.errors import BufferError_, RdmaError, SwapError
 from repro.rdma.fabric import RdmaNode
 from repro.rdma.verbs import QueuePair
 from repro.units import MICROSECOND, PAGE_SIZE
@@ -84,6 +84,7 @@ class RemotePageStore:
         self.pages_loaded = 0
         self.local_fallback_loads = 0
         self.local_fallback_stores = 0
+        self.degraded_skips = 0
         self.time_spent_s = 0.0
 
     # -- lease management -------------------------------------------------
@@ -244,29 +245,72 @@ class RemotePageStore:
     def _place(self, payload: bytes, key: int):
         """Write ``payload`` for ``key`` into the first free slot.
 
-        Returns ``((buffer_id, slot), elapsed)``, or None when every lease
-        is full.
+        Degraded-mode allocation order: a lease whose serving host is
+        unreachable (crashed/partitioned, but not yet invalidated by the
+        controller) is *skipped* rather than failing the store — the page
+        lands on the next surviving lease, or the caller falls back to the
+        local mirror.  Returns ``((buffer_id, slot), elapsed)``, or None
+        when no reachable lease has a free slot.
         """
         for buffer_id in self._order:
             state = self._leases[buffer_id]
             if not state.free_slots:
                 continue
             slot = state.free_slots.pop()
-            if self.transfer_content:
-                elapsed = self.node.rdma_write_timed(
-                    state.qp, state.lease.rkey, slot * PAGE_SIZE, payload
-                )
-            else:
-                _, elapsed = self._fast_verb(state, len(payload), read=False)
+            try:
+                if self.transfer_content:
+                    elapsed = self.node.rdma_write_timed(
+                        state.qp, state.lease.rkey, slot * PAGE_SIZE, payload
+                    )
+                else:
+                    _, elapsed = self._fast_verb(state, len(payload),
+                                                 read=False)
+            except RdmaError:
+                state.free_slots.append(slot)
+                self.degraded_skips += 1
+                continue
             state.used_slots[slot] = key
             return (buffer_id, slot), elapsed
         return None
+
+    def drop_host(self, host: str) -> Tuple[int, int]:
+        """Drop every lease served by ``host`` and re-home their pages.
+
+        The controller's ``US_invalidate`` path: the serving host is dead,
+        so all of its leases go at once (re-homing must never target
+        another buffer on the same dead host).  Page content comes from
+        the local-storage mirror, lands on surviving leases when they have
+        room, and stays on the local backup otherwise.  Returns
+        ``(pages_rehomed, pages_fallback)``.
+        """
+        doomed = [bid for bid in self._order
+                  if self._leases[bid].lease.host == host]
+        stranded: List[int] = []
+        for buffer_id in doomed:
+            state = self._leases.pop(buffer_id)
+            self._order.remove(buffer_id)
+            self.node.pd.destroy_qp(state.qp.qp_num)
+            stranded.extend(key for _, key in sorted(state.used_slots.items()))
+        rehomed = fallbacks = 0
+        for key in stranded:
+            data = self._backup.get(key, self._ZERO_PAGE)
+            placed = self._place(data, key=key)
+            if placed is None:
+                self._locations[key] = _LOCAL
+                fallbacks += 1
+            else:
+                self._locations[key] = placed[0]
+                self.time_spent_s += placed[1]
+                rehomed += 1
+        return rehomed, fallbacks
 
     def _fast_verb(self, state: _LeaseState, nbytes: int, read: bool):
         """Timing-only verb: power gating + cost model, no byte movement."""
         fabric = self.node.fabric
         target = fabric.node(state.lease.host)
-        if not target.memory_reachable:
+        if (not target.memory_reachable
+                or not fabric.is_reachable(state.lease.host)
+                or not fabric.is_reachable(self.node.name)):
             # Route through the full verb for the proper error message.
             self.node.rdma_read_timed(state.qp, state.lease.rkey, 0, nbytes)
         elapsed = fabric.costs.transfer_time(nbytes)

@@ -201,6 +201,21 @@ class Fabric:
         if name in self.partitioned:
             raise RdmaError(f"{name}: fabric link down (partitioned)")
 
+    def is_reachable(self, name: str) -> bool:
+        """Non-raising reachability check (recovery probes)."""
+        return name in self.nodes and name not in self.partitioned
+
+    def probe_memory_path(self, name: str) -> bool:
+        """Whether a one-sided verb to ``name`` would currently work.
+
+        This is the liveness signal recovery uses for *zombie* serving
+        hosts, whose CPU is off by design: the NIC-to-DRAM path, not the
+        RPC daemon, is what matters.
+        """
+        if not self.is_reachable(name):
+            return False
+        return self.nodes[name].memory_reachable
+
     # -- Wake-on-LAN --------------------------------------------------------
     def wake_on_lan(self, name: str) -> float:
         """Send the WoL magic packet to ``name``; returns resume latency.

@@ -1,20 +1,173 @@
-"""RPC over RDMA with client-side polling.
+"""RPC over RDMA with client-side polling, retries and circuit breaking.
 
 The paper's control plane (remote-mem-mgr ↔ global-mem-ctr) runs RPC over
 RDMA, with clients *polling* for results because inbound RDMA operations are
 cheaper than outbound ones.  Unlike one-sided verbs, an RPC needs the server
 CPU to dispatch the handler, so a zombie server cannot answer — this module
 enforces that, which is exactly why controllers stay in S0.
+
+Failure semantics: a transient fault (partition, suspended server) surfaces
+as :class:`RpcTimeoutError`, and an :class:`RpcClient` built with a
+:class:`RetryPolicy` retries it under bounded exponential backoff with
+deterministic jitter, a per-call deadline, and a per-channel circuit
+breaker.  All waiting is *simulated* time (accounted in ``time_spent_s``),
+never a wall-clock sleep, so fault tests stay deterministic.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Tuple
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.errors import RpcError, RpcTimeoutError
+from repro.errors import CircuitOpenError, RpcError, RpcTimeoutError
 from repro.rdma.fabric import RdmaNode
+from repro.sim.rng import DeterministicRng
 
 Handler = Callable[..., Any]
+Clock = Callable[[], float]
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Faults worth retrying: timeouts and fabric-level (link) failures.
+
+    Protocol/handler errors (unknown method, controller rejections,
+    fencing) and a suspended *client* CPU are deterministic — retrying
+    cannot help, so they propagate immediately.
+    """
+    from repro.errors import RdmaError
+    if isinstance(exc, RpcTimeoutError):
+        return True
+    return isinstance(exc, RdmaError) and not isinstance(exc, RpcError)
+
+
+class BreakerState(enum.Enum):
+    """Classic three-state circuit breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-channel failure gate.
+
+    Trips ``OPEN`` after ``failure_threshold`` *consecutive* retryable
+    failures; while open, calls fail fast with :class:`CircuitOpenError`
+    (no fabric traffic, no polling cost).  After ``cooldown_s`` of
+    simulated time it half-opens and lets one probe through: success
+    closes the breaker, failure re-opens it for another cooldown.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 30.0,
+                 clock: Optional[Clock] = None):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.clock: Clock = clock or (lambda: 0.0)
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+        self.fast_failures = 0
+        self.half_opens = 0
+        self.closes = 0
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (may half-open)."""
+        if self.state is BreakerState.OPEN:
+            if self.clock() - self.opened_at >= self.cooldown_s:
+                self.state = BreakerState.HALF_OPEN
+                self.half_opens += 1
+                return True
+            self.fast_failures += 1
+            return False
+        return True
+
+    def record_success(self) -> None:
+        if self.state is not BreakerState.CLOSED:
+            self.closes += 1
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (self.state is BreakerState.HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold):
+            if self.state is not BreakerState.OPEN:
+                self.trips += 1
+            self.state = BreakerState.OPEN
+            self.opened_at = self.clock()
+
+
+@dataclass
+class RetryStats:
+    """Aggregate retry counters for one policy (shared across channels)."""
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    backoff_time_s: float = 0.0
+    deadline_exhausted: int = 0
+    giveups: int = 0
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``rng`` must be a :class:`~repro.sim.rng.DeterministicRng` (or fork)
+    so whole fault-injection experiments replay bit-identically; ``clock``
+    should read the sim engine's clock so circuit-breaker cooldowns follow
+    simulated — not wall-clock — time.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.010
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    #: Simulated-seconds budget per logical call (timeouts + backoff);
+    #: ``None`` disables the deadline.
+    deadline_s: Optional[float] = 8.0
+    #: Backoff is scaled by ``1 ± jitter_fraction`` uniformly.
+    jitter_fraction: float = 0.25
+    rng: DeterministicRng = field(default_factory=lambda: DeterministicRng(0))
+    failure_threshold: int = 5
+    cooldown_s: float = 30.0
+    clock: Optional[Clock] = None
+    stats: RetryStats = field(default_factory=RetryStats)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    @classmethod
+    def no_retry(cls, clock: Optional[Clock] = None,
+                 failure_threshold: int = 5,
+                 cooldown_s: float = 30.0) -> "RetryPolicy":
+        """Single attempt, breaker only — for heartbeat/monitoring paths
+        whose own period is the retry loop."""
+        return cls(max_attempts=1, deadline_s=None, clock=clock,
+                   failure_threshold=failure_threshold,
+                   cooldown_s=cooldown_s)
+
+    def make_breaker(self) -> CircuitBreaker:
+        """A fresh per-channel breaker sharing this policy's clock."""
+        return CircuitBreaker(failure_threshold=self.failure_threshold,
+                              cooldown_s=self.cooldown_s, clock=self.clock)
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Simulated wait before retry number ``attempt`` (1-based)."""
+        raw = self.base_backoff_s * (self.backoff_multiplier ** (attempt - 1))
+        delay = min(self.max_backoff_s, raw)
+        if self.jitter_fraction > 0.0:
+            delay *= 1.0 + self.rng.uniform(-self.jitter_fraction,
+                                            self.jitter_fraction)
+        return max(0.0, delay)
 
 
 class RpcServer:
@@ -49,15 +202,27 @@ class RpcServer:
 
 
 class RpcClient:
-    """Client endpoint: sends a request, then polls for the response."""
+    """Client endpoint: sends a request, then polls for the response.
+
+    With a :class:`RetryPolicy` attached the client owns one circuit
+    breaker (the policy may be shared; the breaker never is) and retries
+    transient faults under the policy's backoff and deadline.  Without a
+    policy the client is a bare single-shot channel (unit-test mode).
+    """
 
     def __init__(self, node: RdmaNode, server: RpcServer,
-                 timeout_s: float = 1.0):
+                 timeout_s: float = 1.0,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.node = node
         self.server = server
         self.timeout_s = timeout_s
+        self.retry_policy = retry_policy
+        self.breaker: Optional[CircuitBreaker] = (
+            retry_policy.make_breaker() if retry_policy is not None else None
+        )
         self.calls_made = 0
         self.polls = 0
+        self.retries = 0
         self.time_spent_s = 0.0
         self._qp = node.connect_qp(server.node.name)
 
@@ -65,7 +230,8 @@ class RpcClient:
         """Invoke ``method`` on the server; returns its result.
 
         Raises :class:`RpcTimeoutError` if the server CPU is down (the
-        client's polls never observe a response).
+        client's polls never observe a response) and every configured
+        retry attempt was exhausted.
         """
         result, _ = self.call_timed(method, *args, **kwargs)
         return result
@@ -73,6 +239,54 @@ class RpcClient:
     def call_timed(self, method: str, *args: Any,
                    **kwargs: Any) -> Tuple[Any, float]:
         """Like :meth:`call` but also returns the simulated elapsed time."""
+        policy = self.retry_policy
+        if policy is None:
+            return self._attempt(method, args, kwargs)
+        policy.stats.calls += 1
+        spent = 0.0
+        attempt = 0
+        while True:
+            if not self.breaker.allow():
+                raise CircuitOpenError(
+                    f"RPC {method!r} to {self.server.node.name}: circuit "
+                    f"open (cooldown {self.breaker.cooldown_s}s)"
+                )
+            attempt += 1
+            policy.stats.attempts += 1
+            try:
+                result, elapsed = self._attempt(method, args, kwargs)
+            # Handlers may raise anything; the blind catch is deliberate —
+            # non-retryable exceptions are re-raised right below, after
+            # informing the breaker that the channel itself answered.
+            except Exception as exc:  # noqa: BLE001
+                if not is_retryable(exc):
+                    # Protocol-level answer: the channel itself works.
+                    self.breaker.record_success()
+                    raise
+                self.breaker.record_failure()
+                spent += self.timeout_s
+                delay = policy.backoff_delay(attempt)
+                out_of_attempts = attempt >= policy.max_attempts
+                out_of_time = (policy.deadline_s is not None
+                               and spent + delay > policy.deadline_s)
+                tripped = self.breaker.state is BreakerState.OPEN
+                if out_of_attempts or out_of_time or tripped:
+                    if out_of_time:
+                        policy.stats.deadline_exhausted += 1
+                    policy.stats.giveups += 1
+                    raise
+                policy.stats.retries += 1
+                policy.stats.backoff_time_s += delay
+                self.retries += 1
+                self.time_spent_s += delay
+                spent += delay
+                continue
+            self.breaker.record_success()
+            return result, elapsed
+
+    def _attempt(self, method: str, args: tuple,
+                 kwargs: dict) -> Tuple[Any, float]:
+        """One un-retried request/poll round."""
         if not self.node.cpu_alive:
             raise RpcError(f"{self.node.name}: client CPU suspended")
         self.node.fabric.require_reachable(self.node.name)

@@ -25,11 +25,11 @@ class FakeAgent:
         self.lendable = lendable
         self._next_id = hash(name) % 1000 + 5000
 
-    def us_reclaim(self, ids):
+    def us_reclaim(self, ids, epoch=None):
         self.reclaimed.extend(ids)
         return len(ids)
 
-    def as_get_free_mem(self):
+    def as_get_free_mem(self, epoch=None):
         out = []
         for _ in range(self.lendable):
             out.append(BufferDescriptor(
@@ -216,3 +216,39 @@ class TestMirroring:
         summary = ctr.pool_summary()
         assert summary["buffers"] == 2
         assert summary["zombie_hosts"] == 1
+
+
+class TestRevokeAtomicity:
+    def _allocated_pair(self):
+        """Two users, one buffer each, all served by zombie z1."""
+        fabric, ctr, fakes = _setup()
+        ctr.gs_goto_zombie("z1", _buffers("z1", 10, 4))
+        ctr.gs_alloc_swap("a1", BUFF)
+        ctr.gs_alloc_swap("a2", BUFF)
+        return fabric, ctr, fakes
+
+    def test_missing_channel_validated_before_any_send(self):
+        _, ctr, fakes = self._allocated_pair()
+        ctr.agent_clients.pop("a2")
+        with pytest.raises(ControllerError):
+            ctr.gs_reclaim("z1", 4)
+        # a1's channel was fine, but nothing was revoked from it either:
+        # the batch failed atomically, before the first US_reclaim.
+        assert fakes["a1"].reclaimed == []
+        assert len(ctr.db.by_host("z1")) == 4  # state untouched
+
+    def test_midbatch_rpc_failure_logs_compensating_event(self):
+        from repro.core.events import EventKind
+        from repro.errors import RpcError
+
+        fabric, ctr, fakes = self._allocated_pair()
+        fabric.partition("a2")  # appears *after* channel validation
+        with pytest.raises(ControllerError):
+            ctr.gs_reclaim("z1", 4)
+        # a1 already dropped its lease; the event records exactly that,
+        # so a journal consumer can reconcile the half-applied batch.
+        assert len(fakes["a1"].reclaimed) == 1
+        failures = ctr.events.of_kind(EventKind.REVOKE_FAILED)
+        assert len(failures) == 1
+        assert failures[0].detail["completed_users"] == ["a1"]
+        assert failures[0].detail["buffers"]

@@ -6,8 +6,10 @@ from repro.acpi.states import SleepState
 from repro.core.controller import GlobalMemoryController
 from repro.core.manager import RemoteMemoryManager
 from repro.core.protocol import Method
+from repro.core.rack import Rack
 from repro.core.secondary import SecondaryController
-from repro.errors import BufferError_, ControllerError, FailoverError
+from repro.errors import (BufferError_, ControllerError, FailoverError,
+                          FencingError)
 from repro.hypervisor.vm import VmSpec
 from repro.memory.frames import FrameAllocator
 from repro.rdma.fabric import Fabric
@@ -182,3 +184,124 @@ class TestMirroringAndFailover:
         sec.promote(BUFF)
         with pytest.raises(FailoverError):
             sec.promote(BUFF)
+
+    def test_promotion_preserves_known_hosts(self):
+        """Active (non-zombie) hosts must survive a failover too."""
+        _, _, _, sec, mgrs = _wired()
+        mgrs["lender"].delegate_for_zombie()
+        assert sec.known_hosts == {"lender", "user"}
+        new_ctr = sec.promote(BUFF)
+        assert new_ctr.known_hosts == {"lender", "user"}
+        assert new_ctr.zombie_hosts == {"lender"}
+
+    def test_promotion_reattaches_agents(self):
+        _, fabric, _, sec, mgrs = _wired()
+        clients = {name: RpcClient(sec.node, mgr.rpc)
+                   for name, mgr in mgrs.items()}
+        new_ctr = sec.promote(BUFF, agent_clients=clients)
+        assert set(new_ctr.agent_clients) == {"lender", "user"}
+
+
+class TestFencingEpochs:
+    def test_stale_mirror_op_rejected(self):
+        _, _, _, sec, _ = _wired()
+        sec.apply_mirror("zombie_add", ("h1",), epoch=1)
+        sec.promote(BUFF)  # epoch 1 -> 2
+        with pytest.raises(FencingError):
+            sec.apply_mirror("zombie_add", ("h2",), epoch=1)
+        sec.apply_mirror("zombie_add", ("h2",), epoch=2)  # current: fine
+        assert "h2" in sec.zombie_hosts
+
+    def test_epochless_mirror_op_bypasses_fence(self):
+        """Unit-test wiring (no epoch_fn) keeps working after promote."""
+        _, _, _, sec, _ = _wired()
+        sec.promote(BUFF)
+        sec.apply_mirror("zombie_add", ("h1",))
+        assert "h1" in sec.zombie_hosts
+
+    def test_manager_rejects_stale_epoch(self):
+        _, _, _, _, mgrs = _wired()
+        user = mgrs["user"]
+        assert user.heartbeat(epoch=2) == "alive"
+        with pytest.raises(FencingError):
+            user.heartbeat(epoch=1)
+        with pytest.raises(FencingError):
+            user.us_reclaim([], epoch=1)
+        assert user.heartbeat(epoch=2) == "alive"  # watermark kept
+
+    def test_agent_call_from_deposed_controller_fences_it(self):
+        _, _, ctr, sec, mgrs = _wired()
+        mgrs["user"].heartbeat(epoch=sec.epoch + 1)  # rack learned epoch 2
+        assert not ctr.fenced
+        with pytest.raises(FencingError):
+            ctr._agent_call("user", Method.HEARTBEAT)  # stamps epoch 1
+        assert ctr.fenced
+        # Once fenced, every guarded handler rejects — even via RPC.
+        client = RpcClient(ctr.node, ctr.rpc)
+        with pytest.raises(FencingError):
+            client.call(Method.GS_ALLOC_SWAP.value, "user", BUFF)
+
+
+class TestRackFailoverEndToEnd:
+    def _rack(self):
+        rack = Rack(["user", "z1"], memory_bytes=64 * MiB, buff_size=4 * MiB)
+        rack.make_zombie("z1")
+        hv = rack.server("user").hypervisor
+        hv.content_mode = True
+        vm = rack.create_vm("user", VmSpec("cvm", 16 * MiB),
+                            local_fraction=0.5)
+        hv.store_for("cvm").transfer_content = True
+        for ppn in range(vm.spec.total_pages):
+            hv.write_page(vm, ppn, b"failover-%04d" % ppn)
+        return rack, hv, vm
+
+    def test_promote_reattach_and_fence_old_primary(self):
+        rack, hv, vm = self._rack()
+        old = rack.controller
+        old_epoch = old.epoch
+        rack.kill_controller()
+        rack.engine.run(until=10.0)
+
+        # The secondary promoted and the rack switched over.
+        new = rack.controller
+        assert new is not old
+        assert new.epoch == old_epoch + 1
+        assert rack.secondary.promoted is new
+        assert new.known_hosts == {"user", "z1"}
+        assert new.zombie_hosts == {"z1"}
+
+        # Old allocations keep working: content survives the failover.
+        for ppn in range(vm.spec.total_pages):
+            assert hv.read_page(vm, ppn) == b"failover-%04d" % ppn
+
+        # New allocations go through the promoted controller.
+        vm2 = rack.create_vm("user", VmSpec("post", 8 * MiB),
+                             local_fraction=0.5)
+        assert vm2.spec.name == "post"
+        assert new.db.by_user("user")
+
+        # The healed old primary is fenced on first contact: its stale
+        # epoch is rejected by the agent, and it stops serving.
+        with pytest.raises(FencingError):
+            old._agent_call("user", Method.HEARTBEAT)
+        assert old.fenced
+        with pytest.raises(FencingError):
+            RpcClient(old.node, old.rpc).call(
+                Method.GS_ALLOC_SWAP.value, "user", 4 * MiB
+            )
+        # Its mirror stream is stale too: the secondary refuses the write.
+        with pytest.raises(FencingError):
+            old._emit("zombie_add", ("rogue",))
+        assert "rogue" not in rack.secondary.zombie_hosts
+
+    def test_recovery_coordinator_survives_failover(self):
+        rack, hv, vm = self._rack()
+        rack.kill_controller()
+        rack.engine.run(until=10.0)
+        assert rack.controller.recovery is rack.recovery
+        # Losing the zombie after the failover still invalidates cleanly.
+        rack.crash_server("z1")
+        assert rack.server("user").manager.report_host_failure("z1")
+        assert "z1" in rack.recovery.lost_hosts
+        for ppn in range(vm.spec.total_pages):
+            assert hv.read_page(vm, ppn) == b"failover-%04d" % ppn

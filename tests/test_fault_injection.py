@@ -148,3 +148,91 @@ class TestCrashResilience:
         total = sum(per_host.values())
         assert len(per_host) == 2
         assert max(per_host.values()) <= 0.7 * total
+
+
+class TestHostLossDetection:
+    """The recovery coordinator's periodic monitor (no user reports)."""
+
+    def _monitored_rack(self):
+        rack = Rack(["user", "z1", "z2"], memory_bytes=128 * MiB,
+                    buff_size=8 * MiB)
+        rack.make_zombie("z1")
+        rack.make_zombie("z2")
+        vm = rack.create_vm("user", VmSpec("vm", 48 * MiB),
+                            local_fraction=0.5)
+        hv = rack.server("user").hypervisor
+        for ppn in range(vm.spec.total_pages):
+            hv.access(vm, ppn, write=True)
+        rack.start_host_monitoring(probe_period_s=0.5, miss_threshold=3)
+        return rack, vm, hv
+
+    def test_partitioned_zombie_declared_lost(self):
+        from repro.core.events import EventKind
+        rack, vm, hv = self._monitored_rack()
+        rack.fabric.partition("z1")
+        rack.engine.run(until=5.0)
+        assert "z1" in rack.recovery.lost_hosts
+        incident = rack.recovery.stats_for("z1")[0]
+        # 3 misses at 0.5 s probe period: detected around t=1.5 s.
+        assert incident.detected_at <= 2.5
+        assert incident.buffers_lost > 0
+        assert incident.users_affected == 1
+        assert rack.events.of_kind(EventKind.HOST_LOST)
+        # The controller no longer tracks z1's buffers, the user's store
+        # no longer leases from it, and z1 is not a zombie host anymore.
+        assert not rack.controller.db.by_host("z1")
+        store = hv.store_for("vm")
+        assert all(ls.lease.host != "z1" for ls in store._leases.values())
+        assert "z1" not in rack.controller.zombie_hosts
+
+    def test_blip_shorter_than_threshold_tolerated(self):
+        rack, vm, hv = self._monitored_rack()
+        rack.fabric.partition("z1")
+        rack.engine.schedule_at(1.0, lambda: rack.fabric.heal("z1"))
+        rack.engine.run(until=5.0)
+        assert not rack.recovery.lost_hosts
+        assert not rack.recovery.incidents
+
+    def test_healed_host_recovered_and_resynced_after_wake(self):
+        from repro.core.events import EventKind
+        rack, vm, hv = self._monitored_rack()
+        rack.fabric.partition("z1")
+        rack.engine.run(until=5.0)
+        assert "z1" in rack.recovery.lost_hosts
+        rack.fabric.heal("z1")
+        rack.engine.run(until=12.0)  # breaker cooldown + probes
+        assert "z1" not in rack.recovery.lost_hosts
+        assert rack.recovery.stats_for("z1")[0].recovered_at is not None
+        assert rack.events.of_kind(EventKind.HOST_RECOVERED)
+        # Still a zombie (CPU off): the lender-side resync must wait.
+        assert "z1" in rack.recovery._pending_resync
+        lender = rack.server("z1").manager
+        assert lender.lent_bytes > 0  # stale records held across the nap
+        rack.wake("z1")
+        rack.engine.run(until=14.0)
+        assert "z1" not in rack.recovery._pending_resync
+        assert lender.lent_bytes == 0  # AS_resync dropped the stale leases
+
+    def test_intentional_suspend_is_not_a_failure(self):
+        # Power management parks an idle *active* host in S3; the monitor
+        # must not declare it dead (its NIC answers, nothing is lent).
+        rack = Rack(["idle", "z"], memory_bytes=64 * MiB, buff_size=8 * MiB)
+        rack.make_zombie("z")
+        rack.start_host_monitoring(probe_period_s=0.5, miss_threshold=3)
+        rack.server("idle").suspend(SleepState.S3)
+        rack.engine.run(until=5.0)
+        assert not rack.recovery.lost_hosts
+        assert not rack.recovery.incidents
+
+    def test_crashed_zombie_reboots_clean(self):
+        rack, vm, hv = self._monitored_rack()
+        rack.crash_server("z1")
+        rack.engine.run(until=5.0)
+        assert "z1" in rack.recovery.lost_hosts
+        rack.heal_server("z1")
+        rack.engine.run(until=12.0)
+        assert "z1" not in rack.recovery.lost_hosts
+        # The reboot wiped lender state; resync had nothing left to drop.
+        assert rack.server("z1").manager.lent_bytes == 0
+        assert rack.engine.now >= 12.0
+        assert not rack.recovery._pending_resync
