@@ -1,0 +1,14 @@
+"""Root pytest config.
+
+Makes ``src`` importable without an installed package and wires the MemSan
+plugin (inert unless the run passes ``--memsan`` — see docs/SANITIZERS.md).
+``pytest_plugins`` must live in the rootdir conftest, which is why this
+file exists at the repo root rather than under ``tests/``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+pytest_plugins = ("repro.sanitize.pytest_plugin",)

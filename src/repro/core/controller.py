@@ -350,8 +350,11 @@ class GlobalMemoryController:
                 continue
             try:
                 new_buffers = self._agent_call(host, Method.AS_GET_FREE_MEM)
-            except RpcError:
-                continue  # unreachable/unwilling active server: skip it
+            except RpcError as exc:
+                # Unreachable/unwilling active server: skip it, audibly.
+                self.events.emit(EventKind.LEND_DECLINED, host,
+                                 error=type(exc).__name__)
+                continue
             for descriptor in new_buffers:
                 if descriptor.buffer_id not in self.db:
                     self.db.add(descriptor.with_kind(BufferKind.ACTIVE))

@@ -34,6 +34,8 @@ class EventKind(enum.Enum):
     BUFFERS_INVALIDATED = "buffers-invalidated"
     REVOKE_FAILED = "revoke-failed"
     CONTROLLER_FENCED = "controller-fenced"
+    LEND_DECLINED = "lend-declined"
+    EPOCH_SYNC_SKIPPED = "epoch-sync-skipped"
 
 
 @dataclass(frozen=True)

@@ -364,7 +364,7 @@ class RemoteMemoryManager:
                 continue
             try:
                 self.extend_swap(store, shortfall)
-            except RpcError:
+            except RpcError:  # zl: ignore[ZL005] store re-queued below; the next repair pass retries
                 # Controller unreachable right now; pages stay on the
                 # local mirror and the next repair pass tries again.
                 self._stores_needing_repair.append(store)

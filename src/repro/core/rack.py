@@ -235,7 +235,12 @@ class Rack:
                 continue  # zombies/partitioned hosts learn on first contact
             try:
                 new_controller._agent_call(name, Method.HEARTBEAT)
-            except RpcError:
+            except RpcError as exc:
+                # The host learns the epoch on first contact instead; the
+                # audit trail records who missed the eager push.
+                self.events.emit(EventKind.EPOCH_SYNC_SKIPPED, name,
+                                 epoch=new_controller.epoch,
+                                 error=type(exc).__name__)
                 continue
         self.events.emit(EventKind.FAILOVER, "secondary-ctr",
                          epoch=new_controller.epoch)

@@ -208,7 +208,7 @@ class RecoveryCoordinator:
                                        fallback_pages=fallbacks)
             except FencingError:
                 raise  # we were deposed mid-recovery: abort loudly
-            except (RpcError, ControllerError):
+            except (RpcError, ControllerError):  # zl: ignore[ZL005] counted in notify_failures; HOST_LOST reports it
                 stats.notify_failures += 1
         for descriptor in descriptors:
             controller.db.remove(descriptor.buffer_id)

@@ -117,7 +117,7 @@ class SecondaryController:
         try:
             answer = self._heartbeat_client.call(Method.HEARTBEAT.value)
             alive = answer == "alive"
-        except RpcError:
+        except RpcError:  # zl: ignore[ZL005] a missed heartbeat IS the signal; failover emits FAILOVER
             alive = False
         if alive:
             self.consecutive_misses = 0

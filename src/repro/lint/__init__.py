@@ -1,0 +1,28 @@
+"""ZomLint: domain-specific static checks for the Zombieland codebase.
+
+Generic linters cannot see the invariants this reproduction lives by —
+simulated time must come from :class:`~repro.sim.engine.Engine`, randomness
+from :class:`~repro.sim.rng.DeterministicRng`, every protocol verb must be
+dispatchable and documented, and RPC failures must never vanish silently.
+ZomLint makes those invariants mechanical:
+
+========  ====================================================================
+rule id   what it flags
+========  ====================================================================
+ZL001     wall-clock time (``time.time``/``datetime.now``/...) in library code
+ZL002     module-level ``random`` calls instead of ``repro.sim.rng``
+ZL003     protocol verbs without a dispatch handler or a PROTOCOL.md entry
+ZL004     float ``==``/``!=`` on simulated timestamps
+ZL005     ``RpcError`` swallowed without a raise, return, or event emission
+========  ====================================================================
+
+Run it as ``python -m repro.lint src`` (exit status 1 on findings).
+Suppress a finding by putting ``# zl: ignore[ZLxxx]`` on the flagged line,
+ideally followed by a short justification.
+"""
+
+from repro.lint.engine import Finding, lint_paths, lint_source
+from repro.lint.rules import ALL_RULES, RULE_DESCRIPTIONS
+
+__all__ = ["Finding", "lint_paths", "lint_source", "ALL_RULES",
+           "RULE_DESCRIPTIONS"]

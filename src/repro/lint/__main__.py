@@ -1,0 +1,52 @@
+"""CLI entry point: ``python -m repro.lint [paths ...]``.
+
+Exits 0 when the tree is clean, 1 when any finding survives suppression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules import ALL_RULES, RULE_DESCRIPTIONS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="ZomLint: domain-specific static checks for the "
+                    "Zombieland reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--rule", action="append", dest="rules",
+                        metavar="ZLxxx",
+                        help="run only the given rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule}  {RULE_DESCRIPTIONS[rule]}")
+        return 0
+
+    rules = [r.upper() for r in args.rules] if args.rules else None
+    if rules:
+        unknown = sorted(set(rules) - set(ALL_RULES))
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(unknown)}")
+    findings = lint_paths(args.paths or ["src"], rules=rules)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} finding(s). Suppress intentional ones "
+              "with '# zl: ignore[ZLxxx] <why>' on the flagged line.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

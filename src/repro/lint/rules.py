@@ -1,0 +1,264 @@
+"""The ZomLint rule implementations.
+
+Per-file rules (ZL001/ZL002/ZL004/ZL005) are plain AST walks; the
+project-wide rule (ZL003) cross-references the :class:`Method` enum in
+``core/protocol.py`` against every ``rpc.register(...)`` call in the tree
+and against ``docs/PROTOCOL.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.engine import Finding
+
+RULE_DESCRIPTIONS = {
+    "ZL001": "wall-clock time in library code (use Engine.now)",
+    "ZL002": "module-level random instead of repro.sim.rng.DeterministicRng",
+    "ZL003": "protocol verb lacks a dispatch handler or a PROTOCOL.md entry",
+    "ZL004": "float ==/!= on a simulated timestamp",
+    "ZL005": "RpcError swallowed without raise, return, or event emission",
+}
+
+ALL_RULES = tuple(sorted(RULE_DESCRIPTIONS))
+
+#: Dotted-call suffixes that read the wall clock.  The simulation must get
+#: time exclusively from ``Engine.now`` so trace replays are bit-identical.
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+}
+
+#: ``random.Random(seed)`` is how DeterministicRng itself is built; every
+#: other attribute of the module is the shared, unseeded global stream.
+_RANDOM_ALLOWED = {"Random", "SystemRandom", "getstate", "setstate"}
+
+#: Identifiers that (by project convention) carry simulated timestamps.
+_TIMESTAMP_EXACT = {
+    "now", "time", "time_s", "timestamp", "now_s", "at_s",
+    "detected_at", "recovered_at", "opened_at", "_now",
+}
+_TIMESTAMP_SUFFIXES = ("_time", "_time_s", "_timestamp", "_now", "_at_s")
+
+#: The RPC failure family ZL005 watches (``errors.py`` hierarchy).
+_RPC_ERROR_NAMES = {"RpcError", "RpcTimeoutError", "CircuitOpenError"}
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Best-effort dotted name for a Name/Attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute chain (``a.b.c`` → ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_timestamp_operand(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    return name in _TIMESTAMP_EXACT or name.endswith(_TIMESTAMP_SUFFIXES)
+
+
+class _FileVisitor(ast.NodeVisitor):
+    """One pass collecting ZL001/ZL002/ZL004/ZL005 findings."""
+
+    def __init__(self, path: str, rules: Sequence[str]):
+        self.path = path
+        self.rules = set(rules)
+        self.findings: List[Finding] = []
+
+    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule in self.rules:
+            self.findings.append(
+                Finding(rule, self.path, getattr(node, "lineno", 1), message)
+            )
+
+    # -- ZL001 / ZL002: calls --------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            for suffix in _WALL_CLOCK_CALLS:
+                if dotted == suffix or dotted.endswith("." + suffix):
+                    self._add("ZL001", node,
+                              f"wall-clock call {dotted}(); simulated code "
+                              "must read Engine.now")
+                    break
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr not in _RANDOM_ALLOWED):
+            self._add("ZL002", node,
+                      f"module-level random.{func.attr}(); use a seeded "
+                      "repro.sim.rng.DeterministicRng")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            bad = [a.name for a in node.names if a.name not in _RANDOM_ALLOWED]
+            if bad:
+                self._add("ZL002", node,
+                          f"from random import {', '.join(bad)}; use a "
+                          "seeded repro.sim.rng.DeterministicRng")
+        self.generic_visit(node)
+
+    # -- ZL004: float equality on timestamps ------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if _is_timestamp_operand(side):
+                    name = _terminal_name(side)
+                    self._add("ZL004", node,
+                              f"float equality on timestamp {name!r}; "
+                              "compare with a tolerance or ordering")
+                    break
+        self.generic_visit(node)
+
+    # -- ZL005: swallowed RpcError ----------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._catches_rpc_error(node.type):
+            if not self._body_handles(node.body):
+                self._add("ZL005", node,
+                          "RpcError caught and discarded; re-raise, return "
+                          "the failure, or emit an audit event")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _catches_rpc_error(type_node: Optional[ast.AST]) -> bool:
+        if type_node is None:
+            return False
+        nodes = (type_node.elts if isinstance(type_node, ast.Tuple)
+                 else [type_node])
+        return any(_terminal_name(n) in _RPC_ERROR_NAMES for n in nodes)
+
+    @staticmethod
+    def _body_handles(body: List[ast.stmt]) -> bool:
+        """The handler re-raises, returns the outcome, or emits an event."""
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.Raise, ast.Return)):
+                    return True
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "emit"):
+                    return True
+        return False
+
+
+def check_file(source: str, path: str = "<string>",
+               rules: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Run the per-file rules; returns raw (unsuppressed) findings."""
+    active = [r for r in (rules or ALL_RULES) if r != "ZL003"]
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding("ZL000", path, exc.lineno or 1,
+                        f"syntax error: {exc.msg}")]
+    visitor = _FileVisitor(path, active)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+# -- ZL003: protocol-verb exhaustiveness --------------------------------------
+
+def _protocol_members(source: str) -> List[tuple]:
+    """``(member_name, verb_string, lineno)`` for each Method enum member."""
+    members = []
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "Method":
+            for stmt in node.body:
+                if (isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and isinstance(stmt.value, ast.Constant)
+                        and isinstance(stmt.value.value, str)):
+                    members.append((stmt.targets[0].id, stmt.value.value,
+                                    stmt.lineno))
+    return members
+
+
+def _registered_members(sources: Dict[Path, str]) -> set:
+    """Method member names passed to some ``*.register(Method.X.value, ...)``."""
+    registered = set()
+    for source in sources.values():
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            # Both `rpc.register(...)` and the local-alias pattern
+            # `register = self.rpc.register; register(...)`.
+            func_name = _terminal_name(node.func)
+            if func_name != "register":
+                continue
+            for arg in node.args:
+                dotted = _dotted_name(arg)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if (len(parts) >= 3 and parts[-3] == "Method"
+                        and parts[-1] == "value"):
+                    registered.add(parts[-2])
+    return registered
+
+
+def check_project(sources: Dict[Path, str]) -> List[Finding]:
+    """ZL003: every protocol verb has a dispatch handler and a doc entry."""
+    protocol_path = next(
+        (p for p in sorted(sources)
+         if p.parts[-2:] == ("core", "protocol.py")), None
+    )
+    if protocol_path is None:
+        return []  # not linting a tree that carries the protocol
+    members = _protocol_members(sources[protocol_path])
+    if not members:
+        return []
+    registered = _registered_members(sources)
+    # src/<pkg>/core/protocol.py → repo root is three levels up from core/.
+    root = protocol_path.parents[3] if len(protocol_path.parents) >= 4 \
+        else Path(".")
+    doc_path = root / "docs" / "PROTOCOL.md"
+    doc_text = doc_path.read_text(encoding="utf-8") if doc_path.is_file() \
+        else None
+    findings = []
+    for member, verb, lineno in members:
+        if member not in registered:
+            findings.append(Finding(
+                "ZL003", str(protocol_path), lineno,
+                f"verb {verb!r} has no rpc.register(Method.{member}.value, "
+                "...) dispatch handler anywhere in the tree"
+            ))
+        if doc_text is None:
+            findings.append(Finding(
+                "ZL003", str(protocol_path), lineno,
+                f"verb {verb!r} cannot be checked against docs: "
+                f"{doc_path} not found"
+            ))
+        elif verb not in doc_text:
+            findings.append(Finding(
+                "ZL003", str(protocol_path), lineno,
+                f"verb {verb!r} is not documented in docs/PROTOCOL.md"
+            ))
+    return findings

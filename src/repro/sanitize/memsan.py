@@ -1,0 +1,307 @@
+"""The sanitizer core: shadow state, hooks, findings, leak report.
+
+:class:`MemorySanitizer.install` monkey-patches the hook points
+(:class:`~repro.memory.buffers.RemotePageStore` lease/page management,
+:class:`~repro.rdma.fabric.RdmaNode` one-sided verbs,
+:class:`~repro.core.database.BufferDatabase.set_kind`,
+:class:`~repro.rdma.rpc.RpcServer.dispatch`); ``uninstall`` restores the
+originals.  The shadow is keyed by ``(serving host, rkey)`` — the identity a
+one-sided verb actually presents on the wire — so it catches accesses made
+through *any* queue pair, including ones the buggy code opened itself.
+
+Detection philosophy: the hooked operation runs first.  If the runtime's
+own defences reject it (MR invalidated, power gate closed, fencing error),
+the exception propagates and nothing is recorded — the system defended
+itself.  A finding is recorded only when the operation **succeeded** while
+the shadow says it must not have.  The one exception is ``double-free``:
+the store cannot tell a double free from a never-valid key (both raise the
+same generic error), so the attempt itself is flagged — a caller freeing a
+key twice holds a stale handle no matter what the store replied.
+"""
+
+from __future__ import annotations
+
+import enum
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+#: Stable finding-kind identifiers (mirrors the module docstring table).
+USE_AFTER_RECLAIM = "use-after-reclaim"
+DOUBLE_FREE = "double-free"
+LOST_BUFFER_ACCESS = "lost-buffer-access"
+POWER_DOMAIN = "power-domain"
+EPOCH_REGRESSION = "epoch-regression"
+
+FINDING_KINDS = (USE_AFTER_RECLAIM, DOUBLE_FREE, LOST_BUFFER_ACCESS,
+                 POWER_DOMAIN, EPOCH_REGRESSION)
+
+
+class ShadowState(enum.Enum):
+    """Shadow allocation state of one (host, rkey) buffer."""
+
+    OK = "ok"                  # leased (or re-labelled back from LOST)
+    RECLAIMED = "reclaimed"    # lease revoked; host MR may still linger
+    LOST = "lost"              # controller declared the serving host dead
+
+
+@dataclass
+class BufferShadow:
+    """Independent mirror of one buffer's safety-critical state."""
+
+    host: str
+    rkey: int
+    state: ShadowState
+    buffer_id: Optional[int] = None
+    owner: Optional[str] = None      # user node holding the lease
+
+
+@dataclass(frozen=True)
+class MemSanFinding:
+    """One shadow-state violation."""
+
+    kind: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message}"
+
+
+@dataclass
+class LeakedStore:
+    """One page store still holding leases at end of session."""
+
+    node: str
+    lease_ids: List[int] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        ids = ", ".join(str(i) for i in self.lease_ids)
+        return (f"store on node {self.node!r} still holds "
+                f"{len(self.lease_ids)} lease(s): buffers [{ids}]")
+
+
+class MemorySanitizer:
+    """Shadow-state sanitizer; one instance drives one install() session."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, int], BufferShadow] = {}
+        #: Per-store freed page keys (stores are weakly referenced so the
+        #: sanitizer never keeps a dead store alive).
+        self._freed: "weakref.WeakKeyDictionary[Any, Set[int]]" = (
+            weakref.WeakKeyDictionary())
+        #: Per-RpcServer fencing-epoch watermark.  Weak-keyed by the server
+        #: *instance* (not node name): a fresh rack legitimately restarts
+        #: its epochs at 1, but one server instance must only ever see a
+        #: monotone sequence.
+        self._epochs: "weakref.WeakKeyDictionary[Any, int]" = (
+            weakref.WeakKeyDictionary())
+        #: Every store that ever held a lease while installed (leak report).
+        self._stores: "weakref.WeakSet[Any]" = weakref.WeakSet()
+        self.findings: List[MemSanFinding] = []
+        self._installed = False
+        self._originals: Dict[Tuple[type, str], Any] = {}
+
+    # -- findings ---------------------------------------------------------
+    def _record(self, kind: str, message: str) -> None:
+        self.findings.append(MemSanFinding(kind, message))
+
+    def drain_findings(self) -> List[MemSanFinding]:
+        """Return accumulated findings and clear the list."""
+        found, self.findings = self.findings, []
+        return found
+
+    # -- shadow transitions ----------------------------------------------
+    def _on_add_lease(self, store: Any, lease: Any) -> None:
+        # A fresh grant legitimizes the buffer whatever its history (the
+        # controller re-assigns released buffers under the same rkey).
+        self._buffers[(lease.host, lease.rkey)] = BufferShadow(
+            host=lease.host, rkey=lease.rkey, state=ShadowState.OK,
+            buffer_id=lease.buffer_id, owner=store.node.name)
+        self._stores.add(store)
+
+    def _mark_reclaimed(self, host: str, rkey: int) -> None:
+        shadow = self._buffers.get((host, rkey))
+        # LOST outranks RECLAIMED: invalidation of a dead host's leases
+        # must not soften the "this buffer is gone" verdict.
+        if shadow is not None and shadow.state is ShadowState.OK:
+            shadow.state = ShadowState.RECLAIMED
+            shadow.owner = None
+
+    def _on_set_kind(self, descriptor: Any, lost: bool) -> None:
+        key = (descriptor.host, descriptor.rkey)
+        if lost:
+            shadow = self._buffers.get(key)
+            if shadow is None:
+                shadow = BufferShadow(host=descriptor.host,
+                                      rkey=descriptor.rkey,
+                                      state=ShadowState.LOST,
+                                      buffer_id=descriptor.buffer_id)
+                self._buffers[key] = shadow
+            shadow.state = ShadowState.LOST
+        else:
+            shadow = self._buffers.get(key)
+            if shadow is not None and shadow.state is ShadowState.LOST:
+                shadow.state = ShadowState.OK  # host healed / false alarm
+
+    # -- checks -----------------------------------------------------------
+    def _check_verb(self, node: Any, qp: Any, rkey: int, verb: str) -> None:
+        """Called after a one-sided verb *succeeded*."""
+        target = node.fabric.nodes.get(qp.remote)
+        platform = getattr(target, "platform", None)
+        if platform is not None and not (platform.state.cpu_alive
+                                         or platform.is_zombie):
+            self._record(POWER_DOMAIN, (
+                f"{verb} from {node.name!r} succeeded against "
+                f"{qp.remote!r} in {platform.state.value} — one-sided "
+                f"verbs are only legal in S0/Sz (stale remote_ok cache?)"))
+        shadow = self._buffers.get((qp.remote, rkey))
+        if shadow is None:
+            return
+        if shadow.state is ShadowState.RECLAIMED:
+            self._record(USE_AFTER_RECLAIM, (
+                f"{verb} from {node.name!r} touched reclaimed buffer "
+                f"{shadow.buffer_id} (host {qp.remote!r}, "
+                f"rkey {rkey:#x}) — its lease was revoked"))
+        elif shadow.state is ShadowState.LOST:
+            self._record(LOST_BUFFER_ACCESS, (
+                f"{verb} from {node.name!r} touched LOST buffer "
+                f"{shadow.buffer_id} (host {qp.remote!r}, rkey {rkey:#x}) "
+                f"— the controller declared its serving host dead"))
+
+    def _check_free(self, store: Any, key: int) -> None:
+        """Called *before* a page free; flags the second free of a key."""
+        freed = self._freed.get(store)
+        if freed is not None and key in freed:
+            self._record(DOUBLE_FREE, (
+                f"page key {key} freed twice on store at node "
+                f"{store.node.name!r}"))
+
+    def _note_freed(self, store: Any, key: int) -> None:
+        self._freed.setdefault(store, set()).add(key)
+
+    def _check_epoch(self, server: Any, epoch: Any) -> None:
+        """Called after a dispatch *succeeded* with an epoch stamp."""
+        if not isinstance(epoch, int):
+            return
+        watermark = self._epochs.get(server)
+        if watermark is not None and epoch < watermark:
+            self._record(EPOCH_REGRESSION, (
+                f"server {server.node.name!r} dispatched a call stamped "
+                f"epoch {epoch} after having seen epoch {watermark} — "
+                f"a deposed controller went unfenced"))
+            return
+        self._epochs[server] = epoch
+
+    # -- leak report ------------------------------------------------------
+    def leak_report(self) -> List[LeakedStore]:
+        """Stores still alive and holding leases (call after gc.collect())."""
+        leaks: List[LeakedStore] = []
+        for store in list(self._stores):
+            lease_ids = sorted(getattr(store, "_leases", {}))
+            if lease_ids:
+                leaks.append(LeakedStore(node=store.node.name,
+                                         lease_ids=lease_ids))
+        leaks.sort(key=lambda leak: leak.node)
+        return leaks
+
+    # -- install / uninstall ---------------------------------------------
+    def install(self) -> "MemorySanitizer":
+        """Patch the hook points; a second install() raises, never stacks."""
+        if self._installed:
+            raise RuntimeError("MemorySanitizer is already installed")
+        from repro.core.database import BufferDatabase
+        from repro.core.protocol import BufferKind
+        from repro.memory.buffers import RemotePageStore
+        from repro.rdma.fabric import RdmaNode
+        from repro.rdma.rpc import RpcServer
+
+        san = self
+
+        def _patch(cls: type, name: str, wrapper: Any) -> None:
+            self._originals[(cls, name)] = getattr(cls, name)
+            setattr(cls, name, wrapper)
+
+        orig_add_lease = RemotePageStore.add_lease
+        orig_remove_lease = RemotePageStore.remove_lease
+        orig_drop_host = RemotePageStore.drop_host
+        orig_free = RemotePageStore.free
+        orig_read = RdmaNode.rdma_read_timed
+        orig_write = RdmaNode.rdma_write_timed
+        orig_set_kind = BufferDatabase.set_kind
+        orig_dispatch = RpcServer.dispatch
+
+        def add_lease(self, lease):
+            result = orig_add_lease(self, lease)
+            san._on_add_lease(self, lease)
+            return result
+
+        def remove_lease(self, buffer_id):
+            state = self._leases.get(buffer_id)
+            result = orig_remove_lease(self, buffer_id)
+            if state is not None:
+                san._mark_reclaimed(state.lease.host, state.lease.rkey)
+            return result
+
+        def drop_host(self, host):
+            doomed = [self._leases[bid].lease for bid in self._order
+                      if self._leases[bid].lease.host == host]
+            result = orig_drop_host(self, host)
+            for lease in doomed:
+                san._mark_reclaimed(lease.host, lease.rkey)
+            return result
+
+        def free(self, key):
+            san._check_free(self, key)
+            result = orig_free(self, key)
+            san._note_freed(self, key)
+            return result
+
+        def rdma_read_timed(self, qp, rkey, offset, length):
+            result = orig_read(self, qp, rkey, offset, length)
+            san._check_verb(self, qp, rkey, "READ")
+            return result
+
+        def rdma_write_timed(self, qp, rkey, offset, payload):
+            result = orig_write(self, qp, rkey, offset, payload)
+            san._check_verb(self, qp, rkey, "WRITE")
+            return result
+
+        def set_kind(self, buffer_id, kind):
+            descriptor = orig_set_kind(self, buffer_id, kind)
+            san._on_set_kind(descriptor, lost=kind is BufferKind.LOST)
+            return descriptor
+
+        def dispatch(self, method, args, kwargs):
+            result = orig_dispatch(self, method, args, kwargs)
+            san._check_epoch(self, kwargs.get("epoch"))
+            return result
+
+        _patch(RemotePageStore, "add_lease", add_lease)
+        _patch(RemotePageStore, "remove_lease", remove_lease)
+        _patch(RemotePageStore, "drop_host", drop_host)
+        _patch(RemotePageStore, "free", free)
+        _patch(RdmaNode, "rdma_read_timed", rdma_read_timed)
+        _patch(RdmaNode, "rdma_write_timed", rdma_write_timed)
+        _patch(BufferDatabase, "set_kind", set_kind)
+        _patch(RpcServer, "dispatch", dispatch)
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore every patched hook point."""
+        if not self._installed:
+            return
+        for (cls, name), original in self._originals.items():
+            setattr(cls, name, original)
+        self._originals.clear()
+        self._installed = False
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    def __enter__(self) -> "MemorySanitizer":
+        return self.install()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.uninstall()

@@ -10,4 +10,7 @@ from repro.sim.engine import Engine, Event
 from repro.sim.process import PeriodicProcess
 from repro.sim.rng import DeterministicRng
 
+# The determinism verifier lives in repro.sim.determinism; it is imported
+# lazily (not re-exported here) so ``python -m repro.sim.determinism`` does
+# not double-execute the module.
 __all__ = ["Engine", "Event", "PeriodicProcess", "DeterministicRng"]

@@ -58,9 +58,19 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {when}, clock is already at {self._now}"
             )
-        event = Event(time=when, seq=next(self._seq), callback=callback)
+        event = Event(time=when, seq=self._tiebreak(), callback=callback)
         heapq.heappush(self._queue, event)
         return event
+
+    def _tiebreak(self):
+        """Ordering key among events scheduled for the same instant.
+
+        The default (a monotone counter) gives FIFO same-time semantics.
+        The determinism verifier's :class:`~repro.sim.determinism.ShuffledEngine`
+        overrides this to *permute* same-time orderings and expose hidden
+        ordering dependencies.
+        """
+        return next(self._seq)
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the queue is empty."""

@@ -1,0 +1,223 @@
+"""ZomLint: a good/bad fixture pair per rule, suppressions, and the CLI."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, RULE_DESCRIPTIONS, lint_paths, lint_source
+from repro.lint.__main__ import main
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestZL001WallClock:
+    BAD = (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    )
+    GOOD = (
+        "def stamp(engine):\n"
+        "    return engine.now\n"
+    )
+
+    def test_bad(self):
+        findings = lint_source(self.BAD)
+        assert _rules(findings) == ["ZL001"]
+        assert findings[0].line == 3
+
+    def test_good(self):
+        assert lint_source(self.GOOD) == []
+
+    def test_datetime_now_flagged(self):
+        source = (
+            "import datetime\n"
+            "t = datetime.datetime.now()\n"
+        )
+        assert _rules(lint_source(source)) == ["ZL001"]
+
+
+class TestZL002UnseededRandom:
+    BAD_CALL = (
+        "import random\n"
+        "jitter = random.uniform(0, 1)\n"
+    )
+    BAD_IMPORT = "from random import choice\n"
+    GOOD = (
+        "from repro.sim.rng import DeterministicRng\n"
+        "jitter = DeterministicRng(0).uniform(0, 1)\n"
+    )
+
+    def test_bad_call(self):
+        assert _rules(lint_source(self.BAD_CALL)) == ["ZL002"]
+
+    def test_bad_import(self):
+        assert _rules(lint_source(self.BAD_IMPORT)) == ["ZL002"]
+
+    def test_good(self):
+        assert lint_source(self.GOOD) == []
+
+    def test_seeded_random_class_allowed(self):
+        # DeterministicRng itself wraps random.Random(seed).
+        assert lint_source("import random\nr = random.Random(42)\n") == []
+
+
+class TestZL004TimestampEquality:
+    BAD = "fired = event.time_s == deadline\n"
+    GOOD = "fired = event.time_s >= deadline\n"
+
+    def test_bad(self):
+        assert _rules(lint_source(self.BAD)) == ["ZL004"]
+
+    def test_good(self):
+        assert lint_source(self.GOOD) == []
+
+    def test_suffix_convention(self):
+        assert _rules(lint_source("x = a.detected_at != b.opened_at\n")) \
+            == ["ZL004"]
+
+    def test_non_timestamp_equality_untouched(self):
+        assert lint_source("same = left.host == right.host\n") == []
+
+
+class TestZL005SwallowedRpcError:
+    BAD = (
+        "def probe(client):\n"
+        "    try:\n"
+        "        client.call('heartbeat')\n"
+        "    except RpcError:\n"
+        "        pass\n"
+    )
+    GOOD_RAISE = BAD.replace("pass", "raise")
+    GOOD_RETURN = BAD.replace("pass", "return False")
+    GOOD_EMIT = BAD.replace("pass", "events.emit(EventKind.HOST_LOST, 'h')")
+
+    def test_bad(self):
+        findings = lint_source(self.BAD)
+        assert _rules(findings) == ["ZL005"]
+        assert findings[0].line == 4
+
+    @pytest.mark.parametrize("source", [GOOD_RAISE, GOOD_RETURN, GOOD_EMIT])
+    def test_good(self, source):
+        assert lint_source(source) == []
+
+    def test_tuple_catch_flagged(self):
+        source = (
+            "try:\n"
+            "    call()\n"
+            "except (RpcTimeoutError, ValueError):\n"
+            "    count += 1\n"
+        )
+        assert _rules(lint_source(source)) == ["ZL005"]
+
+
+class TestSuppressions:
+    def test_matching_rule_is_silenced(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # zl: ignore[ZL001] boot wall-clock banner\n"
+        )
+        assert lint_source(source) == []
+
+    def test_wrong_rule_does_not_silence(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # zl: ignore[ZL002]\n"
+        )
+        assert _rules(lint_source(source)) == ["ZL001"]
+
+    def test_suppression_is_line_scoped(self):
+        source = (
+            "import time\n"
+            "a = time.time()  # zl: ignore[ZL001]\n"
+            "b = time.time()\n"
+        )
+        findings = lint_source(source)
+        assert [(f.rule, f.line) for f in findings] == [("ZL001", 3)]
+
+
+def _protocol_tree(tmp_path, register=True, document=True, verbs=("GS_ping",)):
+    """A minimal src/ tree carrying a Method enum, wiring, and docs."""
+    core = tmp_path / "src" / "repro" / "core"
+    core.mkdir(parents=True)
+    members = "\n".join(
+        f'    {v.upper()} = "{v}"' for v in verbs)
+    (core / "protocol.py").write_text(
+        "import enum\n\n"
+        "class Method(str, enum.Enum):\n" + members + "\n")
+    if register:
+        registrations = "\n".join(
+            f"    rpc.register(Method.{v.upper()}.value, handler)"
+            for v in verbs)
+        (core / "wiring.py").write_text(
+            "from repro.core.protocol import Method\n\n"
+            "def wire(rpc, handler):\n" + registrations + "\n")
+    if document:
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "PROTOCOL.md").write_text(
+            "# protocol\n\n" + "\n".join(f"`{v}` does things." for v in verbs))
+    return tmp_path / "src"
+
+
+class TestZL003ProtocolExhaustiveness:
+    def test_registered_and_documented_verb_is_clean(self, tmp_path):
+        src = _protocol_tree(tmp_path)
+        assert lint_paths([str(src)]) == []
+
+    def test_unregistered_verb_flagged(self, tmp_path):
+        src = _protocol_tree(tmp_path, register=False)
+        findings = lint_paths([str(src)])
+        assert _rules(findings) == ["ZL003"]
+        assert "dispatch handler" in findings[0].message
+
+    def test_undocumented_verb_flagged(self, tmp_path):
+        src = _protocol_tree(tmp_path, verbs=("GS_ping", "GS_pong"))
+        doc = tmp_path / "docs" / "PROTOCOL.md"
+        doc.write_text(doc.read_text().replace("`GS_pong` does things.", ""))
+        findings = lint_paths([str(src)])
+        assert _rules(findings) == ["ZL003"]
+        assert "GS_pong" in findings[0].message
+
+    def test_missing_protocol_doc_flagged(self, tmp_path):
+        src = _protocol_tree(tmp_path, document=False)
+        findings = lint_paths([str(src)])
+        assert _rules(findings) == ["ZL003"]
+        assert "not found" in findings[0].message
+
+    def test_local_alias_registration_counts(self, tmp_path):
+        src = _protocol_tree(tmp_path, register=False)
+        (tmp_path / "src" / "repro" / "core" / "wiring.py").write_text(
+            "from repro.core.protocol import Method\n\n"
+            "def wire(rpc, handler):\n"
+            "    register = rpc.register\n"
+            "    register(Method.GS_PING.value, handler)\n")
+        assert lint_paths([str(src)]) == []
+
+
+class TestDriver:
+    def test_syntax_error_reported_as_zl000(self):
+        findings = lint_source("def broken(:\n")
+        assert _rules(findings) == ["ZL000"]
+
+    def test_rule_catalogue_is_complete(self):
+        assert ALL_RULES == ("ZL001", "ZL002", "ZL003", "ZL004", "ZL005")
+        assert all(RULE_DESCRIPTIONS[r] for r in ALL_RULES)
+
+    def test_repository_source_tree_is_clean(self):
+        assert lint_paths([str(REPO_SRC)]) == []
+
+    def test_cli_exit_zero_on_clean_tree(self):
+        assert main([str(REPO_SRC)]) == 0
+
+    def test_cli_exit_one_on_findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main([str(bad)]) == 1
+
+    def test_cli_list_rules(self):
+        assert main(["--list-rules"]) == 0
