@@ -1,0 +1,100 @@
+"""ZomCheck CLI: ``python -m repro.check --bound small``.
+
+Runs two gates and exits with a distinct code for each failure class:
+
+- **exit 2** — model/dispatch drift: the ZL006 cross-check found a
+  registered RPC handler the model does not know (or a model verb no
+  handler serves).  Exploration would be unsound, so it does not run.
+- **exit 1** — an invariant violation: the minimal counterexample trace
+  is printed, replayable via :mod:`repro.check.replay`.
+- **exit 0** — the bounded state space was explored clean.
+
+``--mutant`` checks one of the seeded known-bad variants
+(:data:`repro.check.model.MUTANTS`) instead of the real protocol; those
+runs are *expected* to exit 1 — the test suite asserts they do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.check.explorer import Explorer
+from repro.check.model import BOUNDS, MUTANTS, ProtocolModel
+
+
+def _drift_findings():
+    """Run the ZL006 model/dispatch cross-check over the source tree."""
+    from repro.lint.engine import lint_paths
+    src_root = Path(__file__).resolve().parents[2]
+    return lint_paths([str(src_root)], rules=["ZL006"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Exhaustively model-check the rack's lease/epoch/power "
+                    "protocol within a bounded configuration.")
+    parser.add_argument("--bound", choices=sorted(BOUNDS), default="small",
+                        help="bounded configuration to explore "
+                             "(default: small)")
+    parser.add_argument("--mutant", choices=sorted(MUTANTS), default=None,
+                        help="check a seeded known-bad protocol variant "
+                             "(expected to find a violation)")
+    parser.add_argument("--no-por", action="store_true",
+                        help="disable sleep-set partial-order reduction")
+    parser.add_argument("--max-states", type=int, default=None,
+                        help="override the bound's state-count cap")
+    parser.add_argument("--skip-drift-check", action="store_true",
+                        help="skip the ZL006 model/dispatch drift gate")
+    args = parser.parse_args(argv)
+
+    if not args.skip_drift_check:
+        drift = _drift_findings()
+        if drift:
+            print("model/dispatch drift — the model checker would be "
+                  "unsound:", file=sys.stderr)
+            for finding in drift:
+                print(f"  {finding}", file=sys.stderr)
+            return 2
+
+    bounds = BOUNDS[args.bound]
+    model = ProtocolModel(bounds, mutant=args.mutant)
+    explorer = Explorer(model, por=not args.no_por,
+                        max_states=args.max_states)
+    label = args.bound if args.mutant is None \
+        else f"{args.bound} + mutant {args.mutant!r}"
+    print(f"zomcheck: exploring bound {label} "
+          f"({bounds.hosts} hosts, {bounds.buffers_per_host} buffer(s)/host, "
+          f"{bounds.max_faults} fault(s))")
+    started = time.perf_counter()  # zl: ignore[ZL001]
+    result = explorer.run()
+    elapsed = time.perf_counter() - started  # zl: ignore[ZL001]
+
+    print(f"  states      {result.states:>10,}"
+          f"{'' if result.complete else '  (cap hit, incomplete)'}")
+    print(f"  transitions {result.transitions:>10,}")
+    print(f"  por skips   {result.sleep_skips:>10,}")
+    print(f"  max depth   {result.max_depth:>10,}")
+    print(f"  wall time   {elapsed:>10.1f}s")
+    if result.ok:
+        print("  no invariant violation found")
+        return 0
+    print()
+    print(result.trace.format())
+    if result.raw_trace is not None \
+            and len(result.raw_trace) != len(result.trace.steps):
+        print(f"  (minimized from {len(result.raw_trace)} steps)")
+    print("replay it concretely:")
+    print("  from repro.check.model import BOUNDS")
+    print("  from repro.check.replay import replay_trace")
+    mutant_arg = "" if args.mutant is None else f", mutant={args.mutant!r}"
+    print(f"  replay_trace(BOUNDS[{args.bound!r}], "
+          f"{list(result.trace.names)!r}{mutant_arg})")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

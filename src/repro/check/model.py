@@ -1,0 +1,839 @@
+"""The bounded protocol model ZomCheck explores.
+
+:class:`ProtocolModel` abstracts the lease/epoch/power state machines of
+``core/controller.py``, ``core/secondary.py``, ``core/manager.py``,
+``core/recovery.py`` and ``acpi/power.py`` into an explicit-state
+transition system small enough to exhaust:
+
+- a **state** is one immutable snapshot of the rack: per-host power
+  (S0/Sz), reachability, crash flag, lender MR records, user-side lease
+  beliefs and fencing watermark, plus the acting controller's buffer
+  table, zombie set, lost set, pending resyncs, promotion/fencing flags
+  and the shared shadow map (:class:`~repro.check.invariants.ShadowState`
+  per buffer);
+- an **action** is one atomic protocol step — a GS_ handler call with the
+  agent calls it embeds (real handlers run synchronously over RPC, so
+  one handler call *is* atomic with its nested ``US_``/``AS_`` calls), a
+  fault from the PR 1 :mod:`~repro.core.recovery` FaultSchedule
+  vocabulary (partition / heal / crash / kill-controller), a failover
+  promotion, or a stale mirror write from the deposed primary.
+  One-sided RDMA verbs are checked per *state* instead of per action
+  (see :meth:`ProtocolModel.state_violations`): a verb never changes
+  protocol state, so interleaving it as an action would only multiply
+  the search space without reaching anything new.
+
+Abstractions (documented in docs/MODELCHECK.md): buffer ids are fixed
+per host instead of freshly carved, allocations move one buffer at a
+time, rack-wide invalidation on host loss is atomic (every affected
+user is notified in the same step — made eventually true in the real
+tree by the recovery coordinator's pending-invalidate queue), and the
+mirror channel to the standby is synchronous and lossless.
+
+``RPC_ACTION_VERBS`` below is the checkable contract between this model
+and ``rdma/rpc.py`` dispatch reality: ZomLint rule ZL006 cross-checks it
+against every ``Server.register()`` call in the tree, in both
+directions, so the model cannot silently drift from the code.
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.check import invariants
+from repro.check.invariants import ShadowState
+
+#: Every RPC verb the model's action set exercises.  Kept as a plain
+#: tuple literal so ZL006 can read it with ``ast`` alone; must stay in
+#: bijection with the handler names passed to ``Server.register()``
+#: across the tree (``python -m repro.lint`` enforces this).
+RPC_ACTION_VERBS = (
+    "AS_get_free_mem",
+    "AS_resync",
+    "GS_alloc_ext",
+    "GS_alloc_swap",
+    "GS_get_lru_zombie",
+    "GS_goto_zombie",
+    "GS_reclaim",
+    "GS_release",
+    "GS_report_failure",
+    "GS_transfer",
+    "GS_wake",
+    "US_invalidate",
+    "US_reclaim",
+    "heartbeat",
+    "mirror_op",
+)
+
+#: Seedable protocol bugs; ``ProtocolModel(bounds, mutant=...)`` explores
+#: the broken state machine and :mod:`repro.check.mutants` applies the
+#: matching concrete patch for counterexample replay.
+MUTANTS = ("skip-epoch-bump", "dispatch-in-sz", "double-lend")
+
+S0 = "S0"
+SZ = "Sz"
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """One bounded configuration: hosts, buffers and fault budget."""
+
+    name: str
+    hosts: int = 3
+    buffers_per_host: int = 1
+    max_faults: int = 2
+    max_leases_per_user: int = 2
+    #: Explorer stops (cleanly, marked incomplete) past this many states.
+    max_states: int = 200_000
+
+    def host_names(self) -> Tuple[str, ...]:
+        return tuple(f"h{i + 1}" for i in range(self.hosts))
+
+    def own_bids(self, host: int) -> Tuple[int, ...]:
+        base = host * self.buffers_per_host
+        return tuple(range(base + 1, base + 1 + self.buffers_per_host))
+
+    def owner_of(self, bid: int) -> int:
+        return (bid - 1) // self.buffers_per_host
+
+
+#: Named configurations.  ``tiny`` is for unit tests (sub-second);
+#: ``small`` is the CI gate — it drains *completely* (~130k distinct
+#: states) in well under a minute; ``medium`` widens the fault budget
+#: and per-user lease bound and takes several minutes.
+BOUNDS: Dict[str, Bounds] = {
+    "tiny": Bounds("tiny", hosts=2, buffers_per_host=1, max_faults=1,
+                   max_leases_per_user=1, max_states=20_000),
+    "small": Bounds("small", hosts=3, buffers_per_host=1, max_faults=1,
+                    max_leases_per_user=1, max_states=150_000),
+    "medium": Bounds("medium", hosts=3, buffers_per_host=1, max_faults=2,
+                     max_leases_per_user=2, max_states=2_000_000),
+}
+
+
+#: One immutable model state.  Every field is hashable; the namedtuple
+#: itself is the dedup key.  ``db`` maps buffer -> (host, kind, user,
+#: purpose) as a frozenset of 5-tuples; ``shadow`` carries the
+#: :class:`ShadowState` value string per buffer ever leased.
+State = namedtuple("State", [
+    "power",          # Tuple[str, ...]            per-host S0 | Sz
+    "reach",          # Tuple[bool, ...]           fabric reachability
+    "crashed",        # Tuple[bool, ...]           DRAM lost until heal
+    "lent",           # Tuple[FrozenSet[int], ...] lender-side MR records
+    "leases",         # Tuple[FrozenSet[int], ...] user-side store beliefs
+    "marks",          # Tuple[int, ...]            agent fencing watermarks
+    "db",             # FrozenSet[(bid, host, kind, user, purpose)]
+    "zombies",        # FrozenSet[int]             controller's zombie set
+    "lost",           # FrozenSet[int]             declared-lost hosts
+    "resync",         # Tuple[(host, FrozenSet[int]), ...] pending AS_resync
+    "primary_alive",  # bool   heartbeat path to the primary works
+    "epoch",          # int    acting controller's fencing epoch
+    "promoted",       # bool   secondary has taken over
+    "deposed_fenced", # bool   old primary learned it was deposed
+    "tainted",        # bool   standby mutated by a stale (unfenced) write
+    "shadow",         # Tuple[(bid, str), ...]     ShadowState value per bid
+    "faults",         # int    fault budget consumed
+])
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation: a finding kind shared with MemSan plus a
+    human-readable account of the step that tripped it."""
+
+    kind: str
+    message: str
+
+
+class Action:
+    """One enabled transition out of a given state.
+
+    ``name`` is the stable identity used in traces and sleep sets (it
+    encodes the parameters, e.g. ``GS_reclaim(h2)``); ``verbs`` declares
+    which RPC verbs the step exercises (checked against
+    ``RPC_ACTION_VERBS``); ``footprint`` is the set of entities the step
+    reads or writes, used for independence in partial-order reduction;
+    ``readonly`` steps can never change state nor violate an invariant.
+
+    A plain ``__slots__`` class, not a dataclass: the explorer creates
+    millions of these and attribute-dict overhead dominates otherwise.
+    """
+
+    __slots__ = ("name", "kind", "verbs", "footprint", "readonly", "apply")
+
+    def __init__(self, name: str, kind: str, verbs: Tuple[str, ...],
+                 footprint: FrozenSet, readonly: bool = False,
+                 apply: Callable[[], Tuple[Optional[State],
+                                           Tuple["Violation", ...]]] = None):
+        self.name = name
+        self.kind = kind
+        self.verbs = verbs
+        self.footprint = footprint
+        self.readonly = readonly
+        self.apply = apply
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Action({self.name!r})"
+
+
+class _W:
+    """Mutable working copy of a :class:`State` for building successors."""
+
+    __slots__ = ("bounds", "power", "reach", "crashed", "lent", "leases",
+                 "marks", "db", "zombies", "lost", "resync", "primary_alive",
+                 "epoch", "promoted", "deposed_fenced", "tainted", "shadow",
+                 "faults", "violations")
+
+    def __init__(self, st: State, bounds: Bounds):
+        self.bounds = bounds
+        self.power = list(st.power)
+        self.reach = list(st.reach)
+        self.crashed = list(st.crashed)
+        # Copy-on-write: entries stay frozensets until mlent/mleases
+        # replaces one with a mutable copy (freeze() handles both).
+        self.lent = list(st.lent)
+        self.leases = list(st.leases)
+        self.marks = list(st.marks)
+        self.db = {bid: (host, kind, user, purpose)
+                   for bid, host, kind, user, purpose in st.db}
+        self.zombies = set(st.zombies)
+        self.lost = set(st.lost)
+        self.resync = {h: set(ids) for h, ids in st.resync}
+        self.primary_alive = st.primary_alive
+        self.epoch = st.epoch
+        self.promoted = st.promoted
+        self.deposed_fenced = st.deposed_fenced
+        self.tainted = st.tainted
+        self.shadow = dict(st.shadow)
+        self.faults = st.faults
+        self.violations: List[Violation] = []
+
+    def mlent(self, idx: int) -> set:
+        entry = self.lent[idx]
+        if not isinstance(entry, set):
+            entry = set(entry)
+            self.lent[idx] = entry
+        return entry
+
+    def mleases(self, idx: int) -> set:
+        entry = self.leases[idx]
+        if not isinstance(entry, set):
+            entry = set(entry)
+            self.leases[idx] = entry
+        return entry
+
+    def freeze(self) -> State:
+        return State(
+            power=tuple(self.power),
+            reach=tuple(self.reach),
+            crashed=tuple(self.crashed),
+            lent=tuple(s if isinstance(s, frozenset) else frozenset(s)
+                       for s in self.lent),
+            leases=tuple(s if isinstance(s, frozenset) else frozenset(s)
+                         for s in self.leases),
+            marks=tuple(self.marks),
+            db=frozenset((bid,) + rec for bid, rec in self.db.items()),
+            zombies=frozenset(self.zombies),
+            lost=frozenset(self.lost),
+            resync=tuple(sorted((h, frozenset(ids))
+                                for h, ids in self.resync.items() if ids)),
+            primary_alive=self.primary_alive,
+            epoch=self.epoch,
+            promoted=self.promoted,
+            deposed_fenced=self.deposed_fenced,
+            tainted=self.tainted,
+            shadow=tuple(sorted(self.shadow.items())),
+            faults=self.faults,
+        )
+
+
+class ProtocolModel:
+    """The bounded transition system ZomCheck explores.
+
+    ``mutant`` (one of :data:`MUTANTS`, or None) seeds a known protocol
+    bug into the action semantics, mirroring the concrete monkeypatch in
+    :mod:`repro.check.mutants` so counterexamples replay 1:1.
+    """
+
+    MUTANTS = MUTANTS
+
+    def __init__(self, bounds: Bounds, mutant: Optional[str] = None):
+        if mutant is not None and mutant not in MUTANTS:
+            raise ValueError(f"unknown mutant {mutant!r}; pick from {MUTANTS}")
+        self.bounds = bounds
+        self.mutant = mutant
+        self._initial_epoch = 1
+
+    # -- naming -----------------------------------------------------------
+    def host_name(self, idx: int) -> str:
+        return f"h{idx + 1}"
+
+    # -- states -----------------------------------------------------------
+    def initial_state(self) -> State:
+        n = self.bounds.hosts
+        return State(
+            power=(S0,) * n,
+            reach=(True,) * n,
+            crashed=(False,) * n,
+            lent=(frozenset(),) * n,
+            leases=(frozenset(),) * n,
+            marks=(self._initial_epoch,) * n,
+            db=frozenset(),
+            zombies=frozenset(),
+            lost=frozenset(),
+            resync=(),
+            primary_alive=True,
+            epoch=self._initial_epoch,
+            promoted=False,
+            deposed_fenced=False,
+            tainted=False,
+            shadow=(),
+            faults=0,
+        )
+
+    def state_violations(self, st: State) -> List[Violation]:
+        """Invariants judged on a whole state rather than a step.
+
+        The one-sided-verb invariants are evaluated here rather than as
+        explicit ``rdma_access`` actions: a user in S0 can issue a verb
+        against any lease it holds at any moment, the verb never changes
+        protocol state, and whether it violates depends only on the
+        current state — so checking every holdable lease per state is
+        exactly equivalent to interleaving access actions, minus the
+        exponential noise.
+        """
+        out: List[Violation] = []
+        holders = [(bid, self.host_name(u))
+                   for u in range(self.bounds.hosts) for bid in st.leases[u]]
+        dupes = invariants.duplicate_leaseholders(holders)
+        if dupes:
+            out.append(Violation(
+                invariants.DOUBLE_LEND,
+                f"buffers {dupes} are leased by more than one user at once",
+            ))
+        if st.tainted:
+            out.append(Violation(
+                invariants.MIRROR_DIVERGENCE,
+                "standby state diverged from the promoted primary: a stale "
+                "write from the deposed controller was applied",
+            ))
+        shadow = dict(st.shadow)
+        for user in range(self.bounds.hosts):
+            if st.power[user] != S0 or not st.reach[user]:
+                continue  # this user cannot issue verbs right now
+            for bid in st.leases[user]:
+                lender = self.bounds.owner_of(bid)
+                served = (st.reach[lender] and not st.crashed[lender]
+                          and bid in st.lent[lender]
+                          and invariants.verb_power_legal(
+                              st.power[lender] == S0,
+                              st.power[lender] == SZ))
+                if not served:
+                    continue  # defended failure: the verb raises
+                raw = shadow.get(bid)
+                kind = invariants.verb_violation(
+                    ShadowState(raw) if raw else None)
+                if kind:
+                    out.append(Violation(
+                        kind,
+                        f"one-sided verb from {self.host_name(user)} can "
+                        f"touch buffer {bid} on {self.host_name(lender)} "
+                        f"whose shadow state is {raw}",
+                    ))
+        return out
+
+    # -- actions ----------------------------------------------------------
+    def enabled_actions(self, st: State) -> List[Action]:
+        acts: List[Action] = []
+        b = self.bounds
+        hosts = range(b.hosts)
+        shadow = dict(st.shadow)
+        db = {bid: (host, kind, user, purpose)
+              for bid, host, kind, user, purpose in st.db}
+
+        def deliverable(idx: int) -> bool:
+            """Can the controller complete an agent call to host idx?"""
+            return st.reach[idx] and (st.power[idx] == S0
+                                      or self.mutant == "dispatch-in-sz")
+
+        for i in hosts:
+            hn = self.host_name(i)
+            own = set(b.own_bids(i))
+            # GS_goto_zombie: announce Sz entry, lend all free local memory.
+            if st.power[i] == S0 and st.reach[i] and i not in st.lost:
+                acts.append(Action(
+                    name=f"GS_goto_zombie({hn})", kind="GS_goto_zombie",
+                    verbs=("GS_goto_zombie", "mirror_op"),
+                    footprint=frozenset({("ctrl",), ("h", i)}
+                                        | {("b", x) for x in own}),
+                    apply=lambda st=st, i=i: self._goto_zombie(st, i),
+                ))
+            # GS_wake: resume to S0, buffers re-labelled active.
+            if st.power[i] == SZ and st.reach[i] and i not in st.lost:
+                acts.append(Action(
+                    name=f"GS_wake({hn})", kind="GS_wake",
+                    verbs=("GS_wake", "mirror_op"),
+                    footprint=frozenset({("ctrl",), ("h", i)}
+                                        | {("b", x) for x in own}),
+                    apply=lambda st=st, i=i: self._wake(st, i),
+                ))
+            # GS_reclaim: a lender takes one buffer back (unallocated
+            # first, then revoking via US_reclaim).
+            if st.power[i] == S0 and st.reach[i]:
+                cands = sorted(
+                    (db[x][2] is not None, x)
+                    for x in st.lent[i] if x in db
+                )
+                if cands:
+                    allocated, bid = cands[0]
+                    user = db[bid][2]
+                    fp = {("ctrl",), ("h", i), ("b", bid)}
+                    ok = True
+                    if allocated:
+                        fp.add(("h", user))
+                        ok = deliverable(user)
+                    if ok:
+                        acts.append(Action(
+                            name=f"GS_reclaim({hn})", kind="GS_reclaim",
+                            verbs=("GS_reclaim", "US_reclaim", "mirror_op"),
+                            footprint=frozenset(fp),
+                            apply=lambda st=st, i=i: self._reclaim(st, i),
+                        ))
+            # GS_alloc_ext / GS_alloc_swap: user asks for one buffer.
+            if (st.power[i] == S0 and st.reach[i]
+                    and len(st.leases[i]) < b.max_leases_per_user):
+                for purpose in ("ext", "swap"):
+                    kind = f"GS_alloc_{purpose}"
+                    acts.append(Action(
+                        name=f"{kind}({hn})", kind=kind,
+                        verbs=((kind, "AS_get_free_mem", "US_reclaim",
+                                "mirror_op") if purpose == "ext" else
+                               (kind, "AS_get_free_mem", "mirror_op")),
+                        # Allocation scans the whole pool: depends on
+                        # everything the controller owns.
+                        footprint=frozenset(
+                            {("ctrl",)} | {("h", x) for x in hosts}
+                            | {("b", x)
+                               for x in range(1, b.hosts
+                                              * b.buffers_per_host + 1)}),
+                        apply=lambda st=st, i=i, p=purpose:
+                            self._alloc(st, i, p),
+                    ))
+            # GS_release: user returns one buffer it holds.
+            if st.power[i] == S0 and st.reach[i]:
+                mine = sorted(x for x in st.leases[i]
+                              if x in db and db[x][2] == i)
+                if mine:
+                    acts.append(Action(
+                        name=f"GS_release({hn})", kind="GS_release",
+                        verbs=("GS_release", "mirror_op"),
+                        footprint=frozenset({("ctrl",), ("h", i),
+                                             ("b", mine[0])}),
+                        apply=lambda st=st, i=i: self._release(st, i),
+                    ))
+            # GS_transfer: migrate one buffer's ownership i -> j.
+            if st.power[i] == S0 and st.reach[i]:
+                mine = sorted(x for x in st.leases[i]
+                              if x in db and db[x][2] == i)
+                if mine:
+                    for j in hosts:
+                        if (j != i and st.power[j] == S0 and st.reach[j]
+                                and len(st.leases[j])
+                                < b.max_leases_per_user):
+                            jn = self.host_name(j)
+                            acts.append(Action(
+                                name=f"GS_transfer({hn},{jn})",
+                                kind="GS_transfer",
+                                verbs=("GS_transfer", "mirror_op"),
+                                footprint=frozenset({("ctrl",), ("h", i),
+                                                     ("h", j),
+                                                     ("b", mine[0])}),
+                                apply=lambda st=st, i=i, j=j:
+                                    self._transfer(st, i, j),
+                            ))
+            # GS_report_failure: an unreachable host is declared lost and
+            # its buffers invalidated rack-wide (atomic in the model).
+            if not st.reach[i] and i not in st.lost:
+                affected = {db[x][2] for x in db
+                            if db[x][0] == i and db[x][2] is not None}
+                if all(deliverable(u) for u in affected):
+                    touched = {x for x in db if db[x][0] == i}
+                    acts.append(Action(
+                        name=f"GS_report_failure({hn})",
+                        kind="GS_report_failure",
+                        verbs=("GS_report_failure", "US_invalidate",
+                               "mirror_op"),
+                        footprint=frozenset(
+                            {("ctrl",), ("h", i)}
+                            | {("h", u) for u in affected}
+                            | {("b", x) for x in touched}),
+                        apply=lambda st=st, i=i: self._declare_lost(st, i),
+                    ))
+            # probe_recover: a lost host answers probes again.
+            if i in st.lost and st.reach[i]:
+                acts.append(Action(
+                    name=f"probe_recover({hn})", kind="probe_recover",
+                    verbs=("heartbeat", "AS_resync"),
+                    footprint=frozenset({("ctrl",), ("h", i)}),
+                    apply=lambda st=st, i=i: self._recover(st, i),
+                ))
+            # AS_resync: flush a pending resync that could not run at
+            # recovery time (host was still CPU-dead).
+            pend = dict(st.resync).get(i)
+            if (pend and i not in st.lost and st.reach[i]
+                    and st.power[i] == S0):
+                acts.append(Action(
+                    name=f"AS_resync({hn})", kind="AS_resync",
+                    verbs=("AS_resync",),
+                    footprint=frozenset({("ctrl",), ("h", i)}),
+                    apply=lambda st=st, i=i: self._resync_flush(st, i),
+                ))
+            # Faults, from the FaultSchedule vocabulary.
+            if st.reach[i] and st.faults < b.max_faults:
+                acts.append(Action(
+                    name=f"partition({hn})", kind="partition", verbs=(),
+                    footprint=frozenset({("h", i)}),
+                    apply=lambda st=st, i=i: self._partition(st, i),
+                ))
+                if not st.crashed[i]:
+                    acts.append(Action(
+                        name=f"crash({hn})", kind="crash", verbs=(),
+                        footprint=frozenset({("h", i)}),
+                        apply=lambda st=st, i=i: self._crash(st, i),
+                    ))
+            if not st.reach[i]:
+                acts.append(Action(
+                    name=f"heal({hn})", kind="heal", verbs=(),
+                    footprint=frozenset({("h", i)}),
+                    apply=lambda st=st, i=i: self._heal(st, i),
+                ))
+
+        # Controller-side actions.
+        if st.primary_alive and not st.promoted and st.faults < b.max_faults:
+            acts.append(Action(
+                name="kill_controller", kind="kill_controller", verbs=(),
+                footprint=frozenset({("hb",)}),
+                apply=lambda st=st: self._kill_controller(st),
+            ))
+        if not st.primary_alive and not st.promoted:
+            acts.append(Action(
+                name="promote", kind="promote",
+                verbs=("heartbeat", "mirror_op"),
+                footprint=frozenset({("ctrl",), ("hb",)}
+                                    | {("h", x) for x in hosts}),
+                apply=lambda st=st: self._promote(st),
+            ))
+        if st.promoted and not st.deposed_fenced:
+            acts.append(Action(
+                name="stale_mirror_op", kind="stale_mirror_op",
+                verbs=("mirror_op",),
+                footprint=frozenset({("ctrl",)}),
+                apply=lambda st=st: self._stale_mirror(st),
+            ))
+        # Read-only probes: part of the verb contract, invisible to POR.
+        if any(st.power[x] == S0 and st.reach[x] for x in hosts):
+            acts.append(Action(
+                name="GS_get_lru_zombie", kind="GS_get_lru_zombie",
+                verbs=("GS_get_lru_zombie",), footprint=frozenset(),
+                readonly=True, apply=lambda: (None, ()),
+            ))
+        acts.append(Action(
+            name="heartbeat", kind="heartbeat", verbs=("heartbeat",),
+            footprint=frozenset(), readonly=True,
+            apply=lambda: (None, ()),
+        ))
+        acts.sort(key=lambda a: a.name)
+        return acts
+
+    def action_by_name(self, st: State, name: str) -> Optional[Action]:
+        for action in self.enabled_actions(st):
+            if action.name == name:
+                return action
+        return None
+
+    def action_verbs(self) -> FrozenSet[str]:
+        """Union of verbs over every action the model can ever emit."""
+        verbs = set()
+        for purpose_verbs in (
+            ("GS_goto_zombie", "mirror_op"),
+            ("GS_wake", "mirror_op"),
+            ("GS_reclaim", "US_reclaim", "mirror_op"),
+            ("GS_alloc_ext", "AS_get_free_mem", "US_reclaim", "mirror_op"),
+            ("GS_alloc_swap", "AS_get_free_mem", "mirror_op"),
+            ("GS_release", "mirror_op"),
+            ("GS_transfer", "mirror_op"),
+            ("GS_report_failure", "US_invalidate", "mirror_op"),
+            ("heartbeat", "AS_resync"),
+            ("GS_get_lru_zombie",),
+        ):
+            verbs.update(purpose_verbs)
+        return frozenset(verbs)
+
+    # -- shared step helpers ----------------------------------------------
+    def _dispatch(self, w: _W, idx: int) -> bool:
+        """Deliver one epoch-stamped agent call to host ``idx``.
+
+        Returns False when the real system would time the call out (CPU
+        dead); under the dispatch-in-sz mutant the call goes through and
+        the violation is recorded, exactly like the concrete patch.
+        """
+        cpu_alive = w.power[idx] == S0
+        if not invariants.dispatch_permitted(cpu_alive):
+            if self.mutant != "dispatch-in-sz":
+                return False
+            w.violations.append(Violation(
+                invariants.CPU_DEAD_DISPATCH,
+                f"RPC handler dispatched on {self.host_name(idx)} while its "
+                f"CPU is dead (power state Sz)",
+            ))
+        if invariants.epoch_regressed(w.marks[idx], w.epoch):
+            w.violations.append(Violation(
+                invariants.EPOCH_REGRESSION,
+                f"{self.host_name(idx)} acted on epoch {w.epoch} below its "
+                f"watermark {w.marks[idx]}",
+            ))
+        else:
+            w.marks[idx] = max(w.marks[idx], w.epoch)
+        return True
+
+    def _grant(self, w: _W, bid: int, user: int, purpose: str) -> None:
+        host, kind, prior_user, _ = w.db[bid]
+        prior_state = w.shadow.get(bid)
+        prior_state = ShadowState(prior_state) if prior_state else None
+        if invariants.lend_conflict(
+                prior_state,
+                self.host_name(prior_user) if prior_user is not None
+                else None):
+            w.violations.append(Violation(
+                invariants.DOUBLE_LEND,
+                f"buffer {bid} granted to {self.host_name(user)} while "
+                f"{self.host_name(prior_user)}'s lease is still live",
+            ))
+        w.db[bid] = (host, kind, user, purpose)
+        w.mleases(user).add(bid)
+        w.shadow[bid] = ShadowState.OK.value
+
+    def _revoke_lease(self, w: _W, bid: int, user: int,
+                      lost: bool = False) -> None:
+        w.mleases(user).discard(bid)
+        if w.shadow.get(bid) != ShadowState.LOST.value or lost:
+            w.shadow[bid] = (ShadowState.LOST.value if lost
+                             else ShadowState.RECLAIMED.value)
+
+    # -- action semantics --------------------------------------------------
+    def _done(self, w: _W):
+        return w.freeze(), tuple(w.violations)
+
+    def _goto_zombie(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        w.power[i] = SZ
+        w.zombies.add(i)
+        for bid in self.bounds.own_bids(i):
+            if bid not in w.db and bid not in w.lent[i]:
+                w.mlent(i).add(bid)
+                w.db[bid] = (i, "zombie", None, None)
+        for bid, rec in w.db.items():
+            if rec[0] == i and rec[1] != "zombie":
+                w.db[bid] = (i, "zombie", rec[2], rec[3])
+        return self._done(w)
+
+    def _wake(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        w.power[i] = S0
+        w.zombies.discard(i)
+        for bid, rec in w.db.items():
+            if rec[0] == i and rec[1] != "active":
+                w.db[bid] = (i, "active", rec[2], rec[3])
+        return self._done(w)
+
+    def _reclaim(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        cands = sorted((w.db[x][2] is not None, x)
+                       for x in w.lent[i] if x in w.db)
+        if not cands:
+            return None, ()
+        allocated, bid = cands[0]
+        if allocated:
+            user = w.db[bid][2]
+            if not self._dispatch(w, user):
+                return None, ()
+            self._revoke_lease(w, bid, user)
+        w.db.pop(bid)
+        w.mlent(i).discard(bid)
+        return self._done(w)
+
+    def _alloc(self, st: State, i: int, purpose: str):
+        w = _W(st, self.bounds)
+
+        def pick() -> Optional[int]:
+            cands = []
+            for bid, (host, kind, user, _) in w.db.items():
+                if host == i:
+                    continue
+                if user is not None and self.mutant != "double-lend":
+                    continue
+                cands.append((kind != "zombie", bid))
+            return min(cands)[1] if cands else None
+
+        grew = False
+        bid = pick()
+        if bid is None or (self.mutant == "double-lend"
+                           and w.db[bid][2] is not None):
+            # _grow_pool_from_active: every active reachable server lends
+            # its spare buffers (AS_get_free_mem); declined lenders skip.
+            for j in range(self.bounds.hosts):
+                if j == i or j in w.zombies or not w.reach[j]:
+                    continue
+                spare = [x for x in self.bounds.own_bids(j)
+                         if x not in w.db and x not in w.lent[j]]
+                if not spare or not self._dispatch(w, j):
+                    continue
+                for x in spare:
+                    w.mlent(j).add(x)
+                    w.db[x] = (j, "active", None, None)
+                grew = True
+            bid = pick()
+        if bid is None and purpose == "ext":
+            # _revoke_swap_from_users: steal a best-effort swap buffer.
+            victims = sorted(
+                x for x, rec in w.db.items()
+                if rec[2] is not None and rec[2] != i and rec[3] == "swap"
+            )
+            for x in victims:
+                victim = w.db[x][2]
+                if not w.reach[victim] or not self._dispatch(w, victim):
+                    continue
+                self._revoke_lease(w, x, victim)
+                host, kind, _, _ = w.db[x]
+                w.db[x] = (host, kind, None, None)
+                bid = x
+                break
+        if bid is None:
+            # Best-effort empty grant / AllocationError; the pool growth
+            # (if any) persists, exactly like the journal-flush-on-raise
+            # path in the real allocator.
+            return (self._done(w) if grew else (None, ()))
+        self._grant(w, bid, i, purpose)
+        return self._done(w)
+
+    def _release(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        mine = sorted(x for x in w.leases[i]
+                      if x in w.db and w.db[x][2] == i)
+        if not mine:
+            return None, ()
+        bid = mine[0]
+        host, kind, _, _ = w.db[bid]
+        w.db[bid] = (host, kind, None, None)
+        self._revoke_lease(w, bid, i)
+        return self._done(w)
+
+    def _transfer(self, st: State, i: int, j: int):
+        w = _W(st, self.bounds)
+        mine = sorted(x for x in w.leases[i]
+                      if x in w.db and w.db[x][2] == i)
+        if not mine:
+            return None, ()
+        bid = mine[0]
+        host, kind, _, purpose = w.db[bid]
+        w.db[bid] = (host, kind, j, purpose)
+        w.mleases(i).discard(bid)
+        w.mleases(j).add(bid)
+        return self._done(w)
+
+    def _declare_lost(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        bids = sorted(x for x, rec in w.db.items() if rec[0] == i)
+        per_user: Dict[int, List[int]] = {}
+        for bid in bids:
+            w.shadow[bid] = ShadowState.LOST.value
+            user = w.db[bid][2]
+            if user is not None:
+                per_user.setdefault(user, []).append(bid)
+        for user, ids in sorted(per_user.items()):
+            if not self._dispatch(w, user):
+                return None, ()  # model invalidation is atomic
+            for bid in ids:
+                self._revoke_lease(w, bid, user, lost=True)
+        for bid in bids:
+            w.db.pop(bid)
+        w.zombies.discard(i)
+        w.lost.add(i)
+        if bids:
+            w.resync[i] = set(bids)
+        return self._done(w)
+
+    def _recover(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        w.lost.discard(i)
+        pend = w.resync.get(i)
+        if pend and w.power[i] == S0 and self._dispatch(w, i):
+            w.lent[i] = frozenset(w.lent[i]) - pend
+            w.resync.pop(i)
+        return self._done(w)
+
+    def _resync_flush(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        pend = w.resync.get(i)
+        if not pend or not self._dispatch(w, i):
+            return None, ()
+        w.lent[i] = frozenset(w.lent[i]) - pend
+        w.resync.pop(i)
+        return self._done(w)
+
+    def _partition(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        w.reach[i] = False
+        w.faults += 1
+        return self._done(w)
+
+    def _crash(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        w.reach[i] = False
+        w.crashed[i] = True
+        w.faults += 1
+        return self._done(w)
+
+    def _heal(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        w.reach[i] = True
+        if w.crashed[i]:
+            # Reboot: DRAM gone, lender records reset, back to S0.
+            w.crashed[i] = False
+            w.power[i] = S0
+            w.lent[i] = set()
+        return self._done(w)
+
+    def _kill_controller(self, st: State):
+        w = _W(st, self.bounds)
+        w.primary_alive = False
+        w.faults += 1
+        return self._done(w)
+
+    def _promote(self, st: State):
+        w = _W(st, self.bounds)
+        w.promoted = True
+        if self.mutant != "skip-epoch-bump":
+            w.epoch += 1
+        # Eager epoch sync: heartbeat every reachable S0 agent.
+        for i in range(self.bounds.hosts):
+            if w.reach[i] and w.power[i] == S0:
+                self._dispatch(w, i)
+        return self._done(w)
+
+    def _stale_mirror(self, st: State):
+        w = _W(st, self.bounds)
+        if self._initial_epoch < w.epoch:
+            # The standby's fencing check rejects the stale write and the
+            # deposed primary marks itself fenced: the guard held.
+            w.deposed_fenced = True
+            return self._done(w)
+        w.tainted = True
+        w.violations.append(Violation(
+            invariants.FENCED_WRITE,
+            f"deposed primary's mirror write at epoch {self._initial_epoch} "
+            f"was applied by the standby (current epoch {w.epoch}): the "
+            "promotion did not fence the old primary",
+        ))
+        return self._done(w)

@@ -87,6 +87,11 @@ class RecoveryCoordinator:
         self._misses: Dict[str, int] = {}
         #: Buffer ids invalidated per lost host, owed an ``AS_resync``.
         self._pending_resync: Dict[str, List[int]] = {}
+        #: Invalidations a user could not receive (it was unreachable
+        #: itself during the recovery), owed a retry: user → serving host
+        #: → buffer ids.  Without the retry the user keeps stale leases
+        #: to purged buffers and uses them again once it heals.
+        self._pending_invalidate: Dict[str, Dict[str, List[int]]] = {}
         self.probes_sent = 0
         self.reports_received = 0
         self._monitor = PeriodicProcess(engine, probe_period_s,
@@ -127,6 +132,7 @@ class RecoveryCoordinator:
             if self._misses[host] >= self.miss_threshold:
                 self.declare_host_lost(host)
         self._flush_pending_resyncs()
+        self._flush_pending_invalidates()
 
     def _probe(self, host: str) -> bool:
         """Liveness check fitted to the host's role.
@@ -210,6 +216,8 @@ class RecoveryCoordinator:
                 raise  # we were deposed mid-recovery: abort loudly
             except (RpcError, ControllerError):  # zl: ignore[ZL005] counted in notify_failures; HOST_LOST reports it
                 stats.notify_failures += 1
+                self._pending_invalidate.setdefault(user, {})[host] = \
+                    list(ids)
         for descriptor in descriptors:
             controller.db.remove(descriptor.buffer_id)
             controller.allocation_purpose.pop(descriptor.buffer_id, None)
@@ -262,6 +270,42 @@ class RecoveryCoordinator:
         for host in sorted(self._pending_resync):
             if host not in self.lost_hosts:
                 self._try_resync(host)
+
+    def _flush_pending_invalidates(self) -> None:
+        """Deliver ``US_invalidate`` to users that missed it.
+
+        A user that was itself unreachable while its serving host was
+        declared lost still holds leases on purged buffers — once it
+        heals it would keep reading memory the controller no longer
+        tracks.  Each probe round retries the owed invalidations until
+        the user takes them (found by ZomCheck's lost-buffer-access
+        exploration; the model's atomic-invalidation guard is made true
+        here, eventually, by this retry loop).
+        """
+        controller = self.controller
+        fabric = controller.node.fabric
+        for user in sorted(self._pending_invalidate):
+            node = fabric.nodes.get(user)
+            if (node is None or not node.cpu_alive
+                    or not fabric.is_reachable(user)):
+                continue
+            owed = self._pending_invalidate[user]
+            for host in sorted(owed):
+                ids = owed[host]
+                try:
+                    fallbacks = controller._agent_call(
+                        user, Method.US_INVALIDATE, host, ids
+                    )
+                except (RpcError, ControllerError):  # zl: ignore[ZL005] kept pending; retried next probe tick
+                    continue
+                controller.events.emit(
+                    EventKind.BUFFERS_INVALIDATED, user, serving_host=host,
+                    buffers=len(ids), fallback_pages=fallbacks,
+                    deferred=True,
+                )
+                del owed[host]
+            if not owed:
+                del self._pending_invalidate[user]
 
     # -- introspection -----------------------------------------------------
     def stats_for(self, host: str) -> List[HostRecoveryStats]:

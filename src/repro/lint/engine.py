@@ -95,8 +95,8 @@ def lint_paths(paths: Sequence[str],
                                     f"unreadable file: {exc}"))
     for path, source in sources.items():
         findings.extend(lint_source(source, str(path), rules=rules))
-    if rules is None or "ZL003" in rules:
-        project = check_project(sources)
+    if rules is None or {"ZL003", "ZL006"} & set(rules):
+        project = check_project(sources, rules=rules)
         for finding in project:
             source = next((s for p, s in sources.items()
                            if str(p) == finding.path), "")

@@ -20,6 +20,8 @@ RULE_DESCRIPTIONS = {
     "ZL003": "protocol verb lacks a dispatch handler or a PROTOCOL.md entry",
     "ZL004": "float ==/!= on a simulated timestamp",
     "ZL005": "RpcError swallowed without raise, return, or event emission",
+    "ZL006": "registered RPC handler missing from the ZomCheck model "
+             "action set (or vice versa)",
 }
 
 ALL_RULES = tuple(sorted(RULE_DESCRIPTIONS))
@@ -224,17 +226,89 @@ def _registered_members(sources: Dict[Path, str]) -> set:
     return registered
 
 
-def check_project(sources: Dict[Path, str]) -> List[Finding]:
-    """ZL003: every protocol verb has a dispatch handler and a doc entry."""
+def _model_action_verbs(source: str) -> Optional[tuple]:
+    """``(verbs, lineno)`` parsed from the ``RPC_ACTION_VERBS`` literal.
+
+    The model keeps its verb contract as a pure tuple literal precisely
+    so this check can read it statically, without importing the module.
+    """
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "RPC_ACTION_VERBS"
+                and isinstance(node.value, (ast.Tuple, ast.List))):
+            verbs = [e.value for e in node.value.elts
+                     if isinstance(e, ast.Constant)
+                     and isinstance(e.value, str)]
+            return tuple(verbs), node.lineno
+    return None
+
+
+def check_model_drift(sources: Dict[Path, str]) -> List[Finding]:
+    """ZL006: the ZomCheck model and the RPC dispatch tables must agree.
+
+    Every ``Server.register()``-ed handler verb must appear in the
+    model's :data:`RPC_ACTION_VERBS` contract and vice versa; otherwise
+    the model checker is silently blind to part of the protocol (or
+    checks verbs nothing can send).
+    """
+    model_path = next(
+        (p for p in sorted(sources)
+         if p.parts[-2:] == ("check", "model.py")), None
+    )
+    protocol_path = next(
+        (p for p in sorted(sources)
+         if p.parts[-2:] == ("core", "protocol.py")), None
+    )
+    if model_path is None or protocol_path is None:
+        return []  # not linting a tree that carries both sides
+    parsed = _model_action_verbs(sources[model_path])
+    if parsed is None:
+        return [Finding("ZL006", str(model_path), 1,
+                        "check/model.py carries no RPC_ACTION_VERBS tuple "
+                        "literal; the drift check cannot run")]
+    model_verbs, lineno = parsed
+    members = _protocol_members(sources[protocol_path])
+    registered = _registered_members(sources)
+    registered_verbs = {verb for member, verb, _ in members
+                        if member in registered}
+    findings = []
+    for verb in sorted(registered_verbs - set(model_verbs)):
+        findings.append(Finding(
+            "ZL006", str(model_path), lineno,
+            f"RPC handler {verb!r} is registered in the tree but absent "
+            "from the model's RPC_ACTION_VERBS — ZomCheck never explores it"
+        ))
+    for verb in sorted(set(model_verbs) - registered_verbs):
+        findings.append(Finding(
+            "ZL006", str(model_path), lineno,
+            f"model action verb {verb!r} has no rpc.register(Method.X.value,"
+            " ...) handler anywhere in the tree — the model checks a verb "
+            "nothing dispatches"
+        ))
+    return findings
+
+
+def check_project(sources: Dict[Path, str],
+                  rules: Optional[Sequence[str]] = None) -> List[Finding]:
+    """The project-wide rules: ZL003 and ZL006."""
+    active = set(rules or ALL_RULES)
+    findings: List[Finding] = []
+    if "ZL006" in active:
+        findings.extend(check_model_drift(sources))
+    if "ZL003" not in active:
+        return findings
     protocol_path = next(
         (p for p in sorted(sources)
          if p.parts[-2:] == ("core", "protocol.py")), None
     )
     if protocol_path is None:
-        return []  # not linting a tree that carries the protocol
+        return findings  # not linting a tree that carries the protocol
     members = _protocol_members(sources[protocol_path])
     if not members:
-        return []
+        return findings
     registered = _registered_members(sources)
     # src/<pkg>/core/protocol.py → repo root is three levels up from core/.
     root = protocol_path.parents[3] if len(protocol_path.parents) >= 4 \
@@ -242,7 +316,6 @@ def check_project(sources: Dict[Path, str]) -> List[Finding]:
     doc_path = root / "docs" / "PROTOCOL.md"
     doc_text = doc_path.read_text(encoding="utf-8") if doc_path.is_file() \
         else None
-    findings = []
     for member, verb, lineno in members:
         if member not in registered:
             findings.append(Finding(

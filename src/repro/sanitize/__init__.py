@@ -22,7 +22,15 @@ Finding classes:
 - ``power-domain``      — a verb *succeeded* against a host outside
   {S0, Sz} (a stale ``remote_ok`` cache let it through);
 - ``epoch-regression``  — an epoch-stamped RPC from a lower epoch than the
-  server has already seen was dispatched instead of fenced.
+  server has already seen was dispatched instead of fenced;
+- ``double-lend``       — the controller granted a buffer whose previous
+  lease is still live (two users holding the same memory);
+- ``cpu-dead-dispatch`` — an RPC handler ran on a host whose CPU is dead
+  (a zombie must never dispatch).
+
+The decision predicates behind every finding live in
+:mod:`repro.check.invariants`, shared with the ZomCheck model checker
+(``python -m repro.check``) so the two tools agree on what "safe" means.
 
 Enable suite-wide with ``pytest --memsan`` (see
 :mod:`repro.sanitize.pytest_plugin`); the end-of-session leak report lists

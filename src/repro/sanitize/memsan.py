@@ -21,28 +21,22 @@ key twice holds a stale handle no matter what the store replied.
 
 from __future__ import annotations
 
-import enum
 import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-#: Stable finding-kind identifiers (mirrors the module docstring table).
-USE_AFTER_RECLAIM = "use-after-reclaim"
-DOUBLE_FREE = "double-free"
-LOST_BUFFER_ACCESS = "lost-buffer-access"
-POWER_DOMAIN = "power-domain"
-EPOCH_REGRESSION = "epoch-regression"
+from repro.check import invariants
+# The decision logic lives in repro.check.invariants — shared with the
+# ZomCheck model checker so the two tools can never disagree on what
+# "safe" means.  Re-exported here for backwards compatibility.
+from repro.check.invariants import (CPU_DEAD_DISPATCH, DOUBLE_FREE,
+                                    DOUBLE_LEND, EPOCH_REGRESSION,
+                                    LOST_BUFFER_ACCESS, POWER_DOMAIN,
+                                    USE_AFTER_RECLAIM, ShadowState)
 
 FINDING_KINDS = (USE_AFTER_RECLAIM, DOUBLE_FREE, LOST_BUFFER_ACCESS,
-                 POWER_DOMAIN, EPOCH_REGRESSION)
-
-
-class ShadowState(enum.Enum):
-    """Shadow allocation state of one (host, rkey) buffer."""
-
-    OK = "ok"                  # leased (or re-labelled back from LOST)
-    RECLAIMED = "reclaimed"    # lease revoked; host MR may still linger
-    LOST = "lost"              # controller declared the serving host dead
+                 POWER_DOMAIN, EPOCH_REGRESSION, DOUBLE_LEND,
+                 CPU_DEAD_DISPATCH)
 
 
 @dataclass
@@ -112,6 +106,13 @@ class MemorySanitizer:
 
     # -- shadow transitions ----------------------------------------------
     def _on_add_lease(self, store: Any, lease: Any) -> None:
+        prior = self._buffers.get((lease.host, lease.rkey))
+        if prior is not None and invariants.lend_conflict(prior.state,
+                                                          prior.owner):
+            self._record(DOUBLE_LEND, (
+                f"buffer {lease.buffer_id} (host {lease.host!r}, rkey "
+                f"{lease.rkey:#x}) granted to {store.node.name!r} while "
+                f"{prior.owner!r} still holds a live lease on it"))
         # A fresh grant legitimizes the buffer whatever its history (the
         # controller re-assigns released buffers under the same rkey).
         self._buffers[(lease.host, lease.rkey)] = BufferShadow(
@@ -148,8 +149,8 @@ class MemorySanitizer:
         """Called after a one-sided verb *succeeded*."""
         target = node.fabric.nodes.get(qp.remote)
         platform = getattr(target, "platform", None)
-        if platform is not None and not (platform.state.cpu_alive
-                                         or platform.is_zombie):
+        if platform is not None and not invariants.verb_power_legal(
+                platform.state.cpu_alive, platform.is_zombie):
             self._record(POWER_DOMAIN, (
                 f"{verb} from {node.name!r} succeeded against "
                 f"{qp.remote!r} in {platform.state.value} — one-sided "
@@ -157,12 +158,13 @@ class MemorySanitizer:
         shadow = self._buffers.get((qp.remote, rkey))
         if shadow is None:
             return
-        if shadow.state is ShadowState.RECLAIMED:
+        kind = invariants.verb_violation(shadow.state)
+        if kind == USE_AFTER_RECLAIM:
             self._record(USE_AFTER_RECLAIM, (
                 f"{verb} from {node.name!r} touched reclaimed buffer "
                 f"{shadow.buffer_id} (host {qp.remote!r}, "
                 f"rkey {rkey:#x}) — its lease was revoked"))
-        elif shadow.state is ShadowState.LOST:
+        elif kind == LOST_BUFFER_ACCESS:
             self._record(LOST_BUFFER_ACCESS, (
                 f"{verb} from {node.name!r} touched LOST buffer "
                 f"{shadow.buffer_id} (host {qp.remote!r}, rkey {rkey:#x}) "
@@ -171,7 +173,7 @@ class MemorySanitizer:
     def _check_free(self, store: Any, key: int) -> None:
         """Called *before* a page free; flags the second free of a key."""
         freed = self._freed.get(store)
-        if freed is not None and key in freed:
+        if invariants.double_free(freed is not None and key in freed):
             self._record(DOUBLE_FREE, (
                 f"page key {key} freed twice on store at node "
                 f"{store.node.name!r}"))
@@ -179,12 +181,17 @@ class MemorySanitizer:
     def _note_freed(self, store: Any, key: int) -> None:
         self._freed.setdefault(store, set()).add(key)
 
-    def _check_epoch(self, server: Any, epoch: Any) -> None:
-        """Called after a dispatch *succeeded* with an epoch stamp."""
+    def _check_dispatch(self, server: Any, epoch: Any) -> None:
+        """Called after an RPC dispatch *succeeded*."""
+        if not invariants.dispatch_permitted(server.node.cpu_alive):
+            self._record(CPU_DEAD_DISPATCH, (
+                f"server {server.node.name!r} dispatched an RPC handler "
+                f"while its CPU is dead — a zombie (Sz) host must never "
+                f"run its RPC daemon"))
         if not isinstance(epoch, int):
             return
         watermark = self._epochs.get(server)
-        if watermark is not None and epoch < watermark:
+        if invariants.epoch_regressed(watermark, epoch):
             self._record(EPOCH_REGRESSION, (
                 f"server {server.node.name!r} dispatched a call stamped "
                 f"epoch {epoch} after having seen epoch {watermark} — "
@@ -273,7 +280,7 @@ class MemorySanitizer:
 
         def dispatch(self, method, args, kwargs):
             result = orig_dispatch(self, method, args, kwargs)
-            san._check_epoch(self, kwargs.get("epoch"))
+            san._check_dispatch(self, kwargs.get("epoch"))
             return result
 
         _patch(RemotePageStore, "add_lease", add_lease)

@@ -1,0 +1,149 @@
+"""ZomCheck model tests: bounds, action enumeration, protocol semantics."""
+
+import pytest
+
+from repro.check import RPC_ACTION_VERBS, ProtocolModel
+from repro.check.model import BOUNDS, MUTANTS, S0, SZ, Bounds
+from repro.check.trace import run_trace
+
+
+def _step(model, state, name):
+    """Apply one named action; returns (new_state, step_violations)."""
+    action = model.action_by_name(state, name)
+    assert action is not None, f"{name} not enabled"
+    new_state, violations = action.apply()
+    return (new_state if new_state is not None else state), violations
+
+
+def _walk(model, names):
+    state = model.initial_state()
+    for name in names:
+        state, violations = _step(model, state, name)
+        assert not violations, (name, violations)
+    return state
+
+
+class TestBounds:
+    def test_catalogue(self):
+        assert set(BOUNDS) == {"tiny", "small", "medium"}
+        for bounds in BOUNDS.values():
+            assert isinstance(bounds, Bounds)
+            assert bounds.hosts >= 2
+            assert bounds.buffers_per_host >= 1
+
+    def test_buffer_ownership_roundtrip(self):
+        bounds = BOUNDS["small"]
+        for host in range(bounds.hosts):
+            for bid in bounds.own_bids(host):
+                assert bounds.owner_of(bid) == host
+
+    def test_host_names_are_stable(self):
+        assert BOUNDS["small"].host_names() == ("h1", "h2", "h3")
+
+
+class TestActionEnumeration:
+    def test_initial_state_is_clean_and_hashable(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        state = model.initial_state()
+        hash(state)
+        assert model.state_violations(state) == []
+
+    def test_enumeration_is_sorted_and_deterministic(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        state = model.initial_state()
+        first = [a.name for a in model.enabled_actions(state)]
+        second = [a.name for a in model.enabled_actions(state)]
+        assert first == second == sorted(first)
+
+    def test_verb_contract_matches_the_literal(self):
+        # action_verbs() is the dynamic union; RPC_ACTION_VERBS is the
+        # static tuple ZL006 parses.  They must never drift apart.
+        model = ProtocolModel(BOUNDS["small"])
+        assert model.action_verbs() == set(RPC_ACTION_VERBS)
+        assert RPC_ACTION_VERBS == tuple(sorted(RPC_ACTION_VERBS))
+
+    def test_readonly_probes_are_enumerated(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        actions = {a.name: a for a in
+                   model.enabled_actions(model.initial_state())}
+        assert actions["heartbeat"].readonly
+        # GS_get_lru_zombie needs a zombie to exist.
+        state = _walk(model, ["GS_goto_zombie(h1)"])
+        names = {a.name for a in model.enabled_actions(state)}
+        assert "GS_get_lru_zombie" in names
+
+
+class TestProtocolSemantics:
+    def test_goto_zombie_then_wake(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        state = _walk(model, ["GS_goto_zombie(h1)"])
+        assert state.power[0] == SZ
+        names = {a.name for a in model.enabled_actions(state)}
+        assert "GS_wake(h1)" in names
+        assert "GS_goto_zombie(h1)" not in names
+        state = _walk(model, ["GS_goto_zombie(h1)", "GS_wake(h1)"])
+        assert state.power[0] == S0
+
+    def test_alloc_never_uses_the_requesting_host(self):
+        model = ProtocolModel(BOUNDS["small"])
+        state = _walk(model, ["GS_alloc_ext(h1)"])
+        bounds = model.bounds
+        for (bid, host, kind, user, purpose) in state.db:
+            if user == 0:   # h1's allocation
+                assert bounds.owner_of(bid) != 0
+
+    def test_promote_bumps_the_epoch(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        state = _walk(model, ["kill_controller", "promote"])
+        assert state.promoted
+        assert state.epoch == 2
+
+    def test_skip_epoch_bump_mutant_does_not(self):
+        model = ProtocolModel(BOUNDS["tiny"], mutant="skip-epoch-bump")
+        state = _walk(model, ["kill_controller", "promote"])
+        assert state.promoted
+        assert state.epoch == 1
+
+    def test_stale_mirror_is_fenced_on_the_clean_model(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        state = _walk(model, ["kill_controller", "promote",
+                              "stale_mirror_op"])
+        assert state.deposed_fenced
+        assert not state.tainted
+
+    def test_crash_heal_reboots_to_s0(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        state = _walk(model, ["GS_goto_zombie(h1)", "crash(h1)", "heal(h1)"])
+        assert state.power[0] == S0
+        assert not state.crashed[0]
+
+    def test_unknown_action_name_is_none(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        assert model.action_by_name(model.initial_state(),
+                                    "GS_alloc_ext(h9)") is None
+
+
+class TestMutantRegistry:
+    def test_model_and_concrete_mutants_agree(self):
+        from repro.check import mutants
+        assert set(MUTANTS) == set(mutants._REGISTRY)
+
+    def test_unknown_mutant_rejected(self):
+        from repro.check import mutants
+        with pytest.raises(ValueError):
+            mutants.mutant("off-by-one-everywhere")
+        with pytest.raises(ValueError):
+            ProtocolModel(BOUNDS["tiny"], mutant="no-such-bug")
+
+    def test_clean_model_replays_mutant_traces_without_violation(self):
+        # The counterexamples only exist because of the seeded bug.
+        traces = {
+            "skip-epoch-bump": ["kill_controller", "promote",
+                                "stale_mirror_op"],
+            "double-lend": ["GS_alloc_ext(h1)", "GS_transfer(h1,h2)",
+                            "GS_alloc_ext(h1)"],
+        }
+        clean = ProtocolModel(BOUNDS["tiny"])
+        for names in traces.values():
+            run = run_trace(clean, names)
+            assert not run.violations

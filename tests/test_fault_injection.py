@@ -236,3 +236,26 @@ class TestHostLossDetection:
         assert rack.server("z1").manager.lent_bytes == 0
         assert rack.engine.now >= 12.0
         assert not rack.recovery._pending_resync
+
+    def test_unreachable_user_invalidated_once_it_heals(self):
+        # Found by ZomCheck: when a serving host dies while the *user* is
+        # also partitioned, the invalidation RPC fails, yet the buffers
+        # are purged from the controller database — leaving the user with
+        # a lease for memory the controller may re-lend.  The fix queues
+        # the invalidation and retries it from probe_tick().
+        rack = Rack(["h1", "h2", "h3"], memory_bytes=16 * MiB,
+                    buff_size=8 * MiB)
+        store = rack.server("h1").manager.request_ext(8 * MiB)
+        held = store.lease_ids()
+        assert held  # served by h2 or h3
+        rack.fabric.partition("h1")
+        rack.crash_server("h2")
+        stats = rack.recovery.declare_host_lost("h2")
+        assert stats.notify_failures == 1
+        # The stale lease survives the failed RPC...
+        assert store.lease_ids() == held
+        rack.fabric.heal("h1")
+        # ...and the next probe tick delivers the deferred invalidation.
+        rack.recovery.probe_tick()
+        assert store.lease_ids() == []
+        assert not rack.recovery._pending_invalidate

@@ -199,13 +199,62 @@ class TestZL003ProtocolExhaustiveness:
         assert lint_paths([str(src)]) == []
 
 
+def _model_file(tmp_path, verbs):
+    """A minimal check/model.py carrying only the verb contract."""
+    check = tmp_path / "src" / "repro" / "check"
+    check.mkdir(parents=True, exist_ok=True)
+    (check / "model.py").write_text(
+        "RPC_ACTION_VERBS = (\n"
+        + "".join(f'    "{v}",\n' for v in verbs) + ")\n")
+
+
+class TestZL006ModelDrift:
+    def test_agreeing_model_is_clean(self, tmp_path):
+        src = _protocol_tree(tmp_path)
+        _model_file(tmp_path, ("GS_ping",))
+        assert lint_paths([str(src)]) == []
+
+    def test_unmodelled_handler_flagged(self, tmp_path):
+        src = _protocol_tree(tmp_path, verbs=("GS_ping", "GS_pong"))
+        _model_file(tmp_path, ("GS_ping",))
+        findings = lint_paths([str(src)], rules=["ZL006"])
+        assert _rules(findings) == ["ZL006"]
+        assert "GS_pong" in findings[0].message
+        assert "absent from the model" in findings[0].message
+
+    def test_phantom_model_verb_flagged(self, tmp_path):
+        src = _protocol_tree(tmp_path)
+        _model_file(tmp_path, ("GS_ping", "GS_phantom"))
+        findings = lint_paths([str(src)], rules=["ZL006"])
+        assert _rules(findings) == ["ZL006"]
+        assert "GS_phantom" in findings[0].message
+        assert "nothing dispatches" in findings[0].message
+
+    def test_missing_verb_tuple_flagged(self, tmp_path):
+        src = _protocol_tree(tmp_path)
+        check = tmp_path / "src" / "repro" / "check"
+        check.mkdir(parents=True, exist_ok=True)
+        (check / "model.py").write_text("ACTIONS = ()\n")
+        findings = lint_paths([str(src)], rules=["ZL006"])
+        assert _rules(findings) == ["ZL006"]
+        assert "cannot run" in findings[0].message
+
+    def test_tree_without_model_is_exempt(self, tmp_path):
+        src = _protocol_tree(tmp_path)
+        assert lint_paths([str(src)], rules=["ZL006"]) == []
+
+    def test_repository_model_matches_dispatch_tables(self):
+        assert lint_paths([str(REPO_SRC)], rules=["ZL006"]) == []
+
+
 class TestDriver:
     def test_syntax_error_reported_as_zl000(self):
         findings = lint_source("def broken(:\n")
         assert _rules(findings) == ["ZL000"]
 
     def test_rule_catalogue_is_complete(self):
-        assert ALL_RULES == ("ZL001", "ZL002", "ZL003", "ZL004", "ZL005")
+        assert ALL_RULES == ("ZL001", "ZL002", "ZL003", "ZL004", "ZL005",
+                             "ZL006")
         assert all(RULE_DESCRIPTIONS[r] for r in ALL_RULES)
 
     def test_repository_source_tree_is_clean(self):
