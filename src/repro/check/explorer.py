@@ -7,6 +7,12 @@ with sleep sets: after exploring action *a* from state *s*, every
 sibling explored later passes ``a`` down to its successor's sleep set if
 the two actions are independent (disjoint footprints), so the redundant
 ``b·a`` ordering of a commuting ``a·b`` pair is never expanded.
+Footprints are state-dependent (``GS_reclaim(h1)`` touches whichever
+candidate buffer and user the current state yields), so each sleep-set
+member carries the footprint it had when it was inserted and the
+expanding action always contributes its *current* state's footprint —
+never a cached first-seen one, which could misclassify a dependent pair
+as independent and silently prune a distinct interleaving.
 
 Violations are checked two ways per transition — step violations
 returned by the action itself (an operation succeeded that must not
@@ -54,7 +60,6 @@ class Explorer:
         self.max_states = (max_states if max_states is not None
                            else model.bounds.max_states)
         self.minimize = minimize
-        self._footprints: Dict[str, FrozenSet] = {}
 
     # -- search -----------------------------------------------------------
     def run(self) -> ExploreResult:
@@ -72,8 +77,9 @@ class Explorer:
         parent: Dict[State, Tuple[Optional[State], str]] = {initial: (None, "")}
         #: Antichain of sleep sets each state was ever queued with; a new
         #: entry only re-queues the state when no recorded sleep set is a
-        #: subset of it (i.e. it genuinely permits a new action).
-        queued_sleeps: Dict[State, List[FrozenSet[str]]] = {
+        #: subset of it (i.e. it genuinely permits a new action).  Sleep
+        #: sets are frozensets of (name, footprint-at-insertion) pairs.
+        queued_sleeps: Dict[State, List[FrozenSet[Tuple[str, FrozenSet]]]] = {
             initial: [frozenset()]
         }
         depth: Dict[State, int] = {initial: 0}
@@ -108,9 +114,8 @@ class Explorer:
         while queue:
             state, sleep = queue.popleft()
             actions = model.enabled_actions(state)
-            for action in actions:
-                self._footprints.setdefault(action.name, action.footprint)
-            current_sleep = set(sleep)
+            # name -> footprint recorded when the action entered the set.
+            current_sleep: Dict[str, FrozenSet] = dict(sleep)
             for action in actions:
                 if action.readonly:
                     continue  # cannot change state nor violate anything
@@ -122,7 +127,7 @@ class Explorer:
                 if step_violations:
                     return finish(state, action.name, step_violations[0])
                 if successor is None:
-                    current_sleep.add(action.name)
+                    current_sleep[action.name] = action.footprint
                     continue
                 if successor not in parent:
                     parent[successor] = (state, action.name)
@@ -136,11 +141,11 @@ class Explorer:
                         return finish(state, action.name,
                                       state_violations[0])
                 if self.por and current_sleep:
-                    footprints = self._footprints
-                    fp = footprints[action.name]
+                    fp = action.footprint  # this state's, never cached
                     child_sleep = frozenset(
-                        other for other in current_sleep
-                        if not (footprints[other] & fp)
+                        (name, other_fp)
+                        for name, other_fp in current_sleep.items()
+                        if not (other_fp & fp)
                     )
                 else:
                     child_sleep = frozenset()
@@ -150,7 +155,7 @@ class Explorer:
                                    if not (child_sleep <= prev)]
                     recorded.append(child_sleep)
                     queue.append((successor, child_sleep))
-                current_sleep.add(action.name)
+                current_sleep[action.name] = action.footprint
             result.states = len(parent)
             if result.states >= self.max_states:
                 result.complete = False

@@ -216,8 +216,9 @@ class RecoveryCoordinator:
                 raise  # we were deposed mid-recovery: abort loudly
             except (RpcError, ControllerError):  # zl: ignore[ZL005] counted in notify_failures; HOST_LOST reports it
                 stats.notify_failures += 1
-                self._pending_invalidate.setdefault(user, {})[host] = \
-                    list(ids)
+                owed = self._pending_invalidate.setdefault(
+                    user, {}).setdefault(host, [])
+                owed.extend(x for x in ids if x not in owed)
         for descriptor in descriptors:
             controller.db.remove(descriptor.buffer_id)
             controller.allocation_purpose.pop(descriptor.buffer_id, None)
@@ -296,6 +297,8 @@ class RecoveryCoordinator:
                     fallbacks = controller._agent_call(
                         user, Method.US_INVALIDATE, host, ids
                     )
+                except FencingError:
+                    raise  # we were deposed: abort loudly, as in declare_host_lost
                 except (RpcError, ControllerError):  # zl: ignore[ZL005] kept pending; retried next probe tick
                     continue
                 controller.events.emit(

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.check import Explorer, ProtocolModel
-from repro.check.model import BOUNDS, MUTANTS
+from repro.check.model import BOUNDS, Bounds, MUTANTS
 from repro.check.trace import minimize_trace, run_trace
 
 
@@ -45,6 +45,23 @@ class TestPartialOrderReduction:
 
     def test_por_actually_skips_commuting_expansions(self, tiny_result):
         assert tiny_result.sleep_skips > 0
+
+    def test_por_is_sound_under_state_dependent_footprints(self):
+        # Regression: footprints were once cached globally by action name,
+        # so GS_reclaim(h1)'s footprint from a state where its candidate
+        # buffer was free (no ("h", user) entry) could be reused in a
+        # state where the buffer was allocated, misclassifying a dependent
+        # pair as independent and pruning a real interleaving.  A bound
+        # with two leases per user makes reclaim/report_failure footprints
+        # vary widely across states; reduced and full must still agree.
+        bound = Bounds("varfp", hosts=2, buffers_per_host=1, max_faults=1,
+                       max_leases_per_user=2, max_states=500_000)
+        reduced = Explorer(ProtocolModel(bound)).run()
+        full = Explorer(ProtocolModel(bound), por=False).run()
+        assert reduced.complete and full.complete
+        assert reduced.sleep_skips > 0
+        assert reduced.states == full.states
+        assert reduced.ok and full.ok
 
 
 class TestSeededMutants:

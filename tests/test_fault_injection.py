@@ -10,7 +10,7 @@ import pytest
 
 from repro.acpi.states import SleepState
 from repro.core.rack import Rack
-from repro.errors import RdmaError, RpcTimeoutError
+from repro.errors import FencingError, RdmaError, RpcTimeoutError
 from repro.hypervisor.vm import VmSpec
 from repro.memory.buffers import LOCAL_FALLBACK_S
 from repro.rdma.fabric import Fabric
@@ -259,3 +259,53 @@ class TestHostLossDetection:
         rack.recovery.probe_tick()
         assert store.lease_ids() == []
         assert not rack.recovery._pending_invalidate
+
+    @staticmethod
+    def _serving_host_of(rack, user):
+        return next(h for h in rack.controller.known_hosts
+                    if any(d.user == user
+                           for d in rack.controller.db.by_host(h)))
+
+    def test_second_incident_merges_owed_invalidations(self):
+        # Regression: a second batch of owed ids for the same
+        # (user, serving host) pair once *overwrote* ids still owed from
+        # an earlier, unflushed incident — silently dropping them, the
+        # exact stale-lease bug the queue exists to fix.  It must merge.
+        rack = Rack(["h1", "h2", "h3"], memory_bytes=16 * MiB,
+                    buff_size=8 * MiB)
+        store = rack.server("h1").manager.request_ext(8 * MiB)
+        assert store.lease_ids()
+        serving = self._serving_host_of(rack, "h1")
+        # An earlier incident left id 999 owed for the same pair.
+        rack.recovery._pending_invalidate = {"h1": {serving: [999]}}
+        rack.fabric.partition("h1")
+        rack.crash_server(serving)
+        stats = rack.recovery.declare_host_lost(serving)
+        assert stats.notify_failures == 1
+        owed = rack.recovery._pending_invalidate["h1"][serving]
+        assert 999 in owed
+        assert set(store.lease_ids()) <= set(owed)
+
+    def test_flush_pending_invalidates_aborts_on_fencing(self):
+        # Regression: FencingError subclasses ControllerError, so the
+        # retry loop once swallowed it as a routine notify failure — a
+        # deposed primary would keep retrying every probe tick forever
+        # instead of aborting loudly, as declare_host_lost does.
+        rack = Rack(["h1", "h2", "h3"], memory_bytes=16 * MiB,
+                    buff_size=8 * MiB)
+        rack.server("h1").manager.request_ext(8 * MiB)
+        serving = self._serving_host_of(rack, "h1")
+        rack.fabric.partition("h1")
+        rack.crash_server(serving)
+        rack.recovery.declare_host_lost(serving)
+        assert rack.recovery._pending_invalidate
+        rack.fabric.heal("h1")
+
+        def fenced_call(*args, **kwargs):
+            raise FencingError("stale epoch: controller was deposed")
+
+        rack.controller._agent_call = fenced_call
+        with pytest.raises(FencingError):
+            rack.recovery._flush_pending_invalidates()
+        # The owed ids survive for whoever holds the valid epoch.
+        assert rack.recovery._pending_invalidate
