@@ -5,18 +5,27 @@ its duration barely moves with the WSS.  ZombieStack stops the VM and
 copies only the local (hot) half of the WSS — remote memory just changes
 ownership — so it grows with WSS and stays below native, with the biggest
 win at small working sets.
+
+The experiment records every modelled migration into a ZomTrace metrics
+registry, and the shape assertions below read the registry — the BENCH
+numbers come from *measured* series, not from values the experiment chose
+to return.
 """
+
+import pytest
 
 from conftest import print_table
 
 from repro.analysis.experiments import migration_comparison
+from repro.obs.metrics import MetricsRegistry
 
 RATIOS = (0.2, 0.4, 0.6, 0.8)
 
 
 def test_fig9_migration_time(benchmark):
+    registry = MetricsRegistry()
     rows = benchmark.pedantic(
-        lambda: migration_comparison(wss_ratios=RATIOS),
+        lambda: migration_comparison(wss_ratios=RATIOS, metrics=registry),
         rounds=1, iterations=1,
     )
     print_table(
@@ -41,5 +50,19 @@ def test_fig9_migration_time(benchmark):
     assert zombies == sorted(zombies)
     assert zombies[-1] > 2 * zombies[0]
 
-    # Remote pages never move.
-    assert all(r["zombiestack_pages"] < r["native_pages"] for r in rows)
+    # The registry saw one migration per protocol per ratio, and its
+    # histograms agree with the returned rows.
+    native_hist = registry.get("migration_seconds", protocol="native")
+    zombie_hist = registry.get("migration_seconds", protocol="zombiestack")
+    assert native_hist.count == len(RATIOS)
+    assert zombie_hist.count == len(RATIOS)
+    assert native_hist.sum == pytest.approx(sum(natives))
+    assert zombie_hist.sum == pytest.approx(sum(zombies))
+    assert zombie_hist.max < native_hist.min  # wins at every WSS
+
+    # Remote pages never move: measured page counts, per protocol.
+    native_pages = registry.get("migration_pages", protocol="native")
+    zombie_pages = registry.get("migration_pages", protocol="zombiestack")
+    assert zombie_pages.max < native_pages.min
+    assert native_pages.sum == sum(r["native_pages"] for r in rows)
+    assert zombie_pages.sum == sum(r["zombiestack_pages"] for r in rows)

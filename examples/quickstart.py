@@ -13,10 +13,11 @@ from repro import MiB, Rack, VmSpec
 from repro.units import fmt_size, fmt_time
 
 
-def main() -> None:
+def main(telemetry=None) -> Rack:
+    """Run the demo; pass a ``repro.obs.Telemetry`` hub to trace it."""
     print("Building a rack of three 512 MiB servers...")
     rack = Rack(["user", "active", "spare"], memory_bytes=512 * MiB,
-                buff_size=16 * MiB)
+                buff_size=16 * MiB, telemetry=telemetry)
     print(f"  rack power: {rack.total_power_watts():.1f} W")
 
     print("\nSuspending 'spare' into the zombie (Sz) state...")
@@ -53,6 +54,7 @@ def main() -> None:
     print(f"  the VM's pages were re-homed; it keeps running.")
     rack.destroy_vm("user", "demo-vm")
     print("\nDone.")
+    return rack
 
 
 if __name__ == "__main__":

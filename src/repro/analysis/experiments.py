@@ -177,6 +177,7 @@ def migration_comparison(
         vm_pages: int = 2 * 1024 * 1024,  # an 8 GiB VM
         wss_ratios: Iterable[float] = (0.2, 0.4, 0.6, 0.8),
         buff_size: int = DEFAULT_BUFF_SIZE,
+        metrics=None,
 ) -> List[Dict[str, float]]:
     """Fig. 9 rows: WSS ratio → native vs ZombieStack migration time.
 
@@ -184,6 +185,11 @@ def migration_comparison(
     and local (Section 5: "only the memory pages within the local memory
     (about 50% of the WSS)"), so only that part is copied; the remote part
     just has its ownership pointers updated.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) records
+    every modelled migration into ``migration_seconds{protocol=...}`` and
+    ``migration_pages{protocol=...}``, so benchmark JSON can assert on
+    the registry instead of re-deriving numbers from the rows.
     """
     rows = []
     for ratio in wss_ratios:
@@ -194,6 +200,17 @@ def migration_comparison(
         leases = max(1, (remote_pages * PAGE_SIZE + buff_size - 1) // buff_size)
         zombie = migrate_zombiestack(local_resident, remote_pages,
                                      remote_leases=leases)
+        if metrics is not None:
+            for result in (native, zombie):
+                metrics.histogram("migration_seconds",
+                                  "Total migration duration.",
+                                  protocol=result.protocol
+                                  ).observe(result.total_time_s)
+                metrics.histogram("migration_pages",
+                                  "Pages copied per migration.",
+                                  buckets=(1e3, 1e4, 1e5, 1e6, 1e7),
+                                  protocol=result.protocol
+                                  ).observe(result.pages_transferred)
         rows.append({
             "wss_ratio": ratio,
             "native_s": native.total_time_s,

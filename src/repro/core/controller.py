@@ -53,26 +53,46 @@ class GlobalMemoryController:
         self.fenced = False
         #: Installed by :class:`repro.core.recovery.RecoveryCoordinator`.
         self.recovery = None
+        #: host → sim time it entered Sz; feeds the ``sz_dwell_seconds``
+        #: residency histogram.  Entry timestamps live only on the primary
+        #: that observed the entry, so dwell times spanning a failover are
+        #: not re-observed by the promoted secondary (documented limit).
+        self._sz_entered: Dict[str, float] = {}
         self._register_handlers()
         self.heartbeats_sent = 0
 
     # -- wiring ----------------------------------------------------------
     def _register_handlers(self) -> None:
         register = self.rpc.register
-        register(Method.GS_GOTO_ZOMBIE.value, self._guard(self.gs_goto_zombie))
-        register(Method.GS_RECLAIM.value, self._guard(self.gs_reclaim))
-        register(Method.GS_ALLOC_EXT.value, self._guard(self.gs_alloc_ext))
-        register(Method.GS_ALLOC_SWAP.value, self._guard(self.gs_alloc_swap))
+        traced = self.rpc.traced
+        register(Method.GS_GOTO_ZOMBIE.value,
+                 traced(Method.GS_GOTO_ZOMBIE.value,
+                        self._guard(self.gs_goto_zombie)))
+        register(Method.GS_RECLAIM.value,
+                 traced(Method.GS_RECLAIM.value, self._guard(self.gs_reclaim)))
+        register(Method.GS_ALLOC_EXT.value,
+                 traced(Method.GS_ALLOC_EXT.value,
+                        self._guard(self.gs_alloc_ext)))
+        register(Method.GS_ALLOC_SWAP.value,
+                 traced(Method.GS_ALLOC_SWAP.value,
+                        self._guard(self.gs_alloc_swap)))
         register(Method.GS_GET_LRU_ZOMBIE.value,
-                 self._guard(self.gs_get_lru_zombie))
-        register(Method.GS_RELEASE.value, self._guard(self.gs_release))
-        register(Method.GS_TRANSFER.value, self._guard(self.gs_transfer))
-        register(Method.GS_WAKE.value, self._guard(self.gs_wake))
+                 traced(Method.GS_GET_LRU_ZOMBIE.value,
+                        self._guard(self.gs_get_lru_zombie)))
+        register(Method.GS_RELEASE.value,
+                 traced(Method.GS_RELEASE.value, self._guard(self.gs_release)))
+        register(Method.GS_TRANSFER.value,
+                 traced(Method.GS_TRANSFER.value,
+                        self._guard(self.gs_transfer)))
+        register(Method.GS_WAKE.value,
+                 traced(Method.GS_WAKE.value, self._guard(self.gs_wake)))
         register(Method.GS_REPORT_FAILURE.value,
-                 self._guard(self.gs_report_failure))
+                 traced(Method.GS_REPORT_FAILURE.value,
+                        self._guard(self.gs_report_failure)))
         # Heartbeat stays unguarded: monitors may still probe a fenced
         # (deposed) controller without tripping FencingError.
-        register(Method.HEARTBEAT.value, self.heartbeat)
+        register(Method.HEARTBEAT.value,
+                 traced(Method.HEARTBEAT.value, self.heartbeat))
 
     def _guard(self, handler):
         """Refuse to serve authority-bearing calls once deposed."""
@@ -166,6 +186,15 @@ class GlobalMemoryController:
         self._flush_journal(mark)
         self.events.emit(EventKind.ZOMBIE_ENTER, host,
                          buffers=len(self.db.by_host(host)))
+        tel = self.node.fabric.telemetry
+        if tel.enabled:
+            self._sz_entered[host] = tel.now()
+            tel.registry.counter("sz_transitions_total",
+                                 "Sz entries and exits observed.",
+                                 direction="enter").inc()
+            tel.registry.gauge("zombie_hosts",
+                               "Hosts currently parked in Sz.").set(
+                len(self.zombie_hosts))
         return len(self.db.by_host(host))
 
     def gs_wake(self, host: str) -> None:
@@ -178,6 +207,20 @@ class GlobalMemoryController:
                 self.db.set_kind(descriptor.buffer_id, BufferKind.ACTIVE)
         self._flush_journal(mark)
         self.events.emit(EventKind.ZOMBIE_EXIT, host)
+        tel = self.node.fabric.telemetry
+        if tel.enabled:
+            entered = self._sz_entered.pop(host, None)
+            if entered is not None:
+                tel.registry.histogram(
+                    "sz_dwell_seconds",
+                    "Time hosts spent parked in Sz before waking.",
+                ).observe(tel.now() - entered)
+            tel.registry.counter("sz_transitions_total",
+                                 "Sz entries and exits observed.",
+                                 direction="exit").inc()
+            tel.registry.gauge("zombie_hosts",
+                               "Hosts currently parked in Sz.").set(
+                len(self.zombie_hosts))
 
     def gs_reclaim(self, host: str, nb_buffers: int) -> List[int]:
         """A (waking) server takes ``nb_buffers`` of its memory back.

@@ -9,8 +9,9 @@ counters each subsystem keeps.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Optional
 
 
 class EventKind(enum.Enum):
@@ -55,15 +56,36 @@ class Event:
 
 
 class EventLog:
-    """An append-only, queryable event journal."""
+    """An append-only, queryable event journal.
+
+    Storage is a ring buffer: past ``capacity`` entries the oldest events
+    are dropped (and counted in :attr:`dropped`) in O(1), so a 12k-server
+    simulation cannot grow the log without bound.  ``capacity=None``
+    makes the log unbounded for short-lived analysis runs that must not
+    lose events.
+    """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None,
-                 capacity: int = 100_000):
+                 capacity: Optional[int] = 100_000):
         self._clock = clock or (lambda: 0.0)
         self.capacity = capacity
-        self._events: List[Event] = []
+        self._events: Deque[Event] = deque()
         self._seq = 0
         self.dropped = 0
+        #: Duck-typed metrics registry (see :meth:`attach_metrics`); kept
+        #: as "anything with a counter() method" so this module never
+        #: imports :mod:`repro.obs`.
+        self._metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Bridge this log into a metrics registry.
+
+        Every subsequent :meth:`emit` also increments
+        ``rack_events_total{kind=...}`` on ``registry``, so event-kind
+        counts reach the Prometheus export even after the ring buffer
+        has dropped the events themselves.
+        """
+        self._metrics = registry
 
     def emit(self, kind: EventKind, host: str, **detail) -> Event:
         """Record one event (oldest entries are dropped past capacity)."""
@@ -71,9 +93,13 @@ class EventLog:
                       host=host, detail=detail)
         self._seq += 1
         self._events.append(event)
-        if len(self._events) > self.capacity:
-            self._events.pop(0)
+        if self.capacity is not None and len(self._events) > self.capacity:
+            self._events.popleft()
             self.dropped += 1
+        if self._metrics is not None:
+            self._metrics.counter("rack_events_total",
+                                  "Audit-log events emitted, by kind.",
+                                  kind=kind.value).inc()
         return event
 
     def __len__(self) -> int:

@@ -18,6 +18,7 @@ from repro.core.secondary import SecondaryController
 from repro.core.server import RackServer
 from repro.errors import ConfigurationError, PlacementError, RpcError
 from repro.hypervisor.vm import Vm, VmSpec
+from repro.obs import Telemetry
 from repro.rdma.costs import RdmaCostModel
 from repro.rdma.fabric import Fabric
 from repro.rdma.rpc import RetryPolicy, RpcClient
@@ -40,13 +41,17 @@ class Rack:
                  costs: Optional[RdmaCostModel] = None,
                  heartbeat_period_s: float = 1.0,
                  stripe: bool = True,
-                 rng_seed: int = 0):
+                 rng_seed: int = 0,
+                 telemetry: Optional[Telemetry] = None):
         if not server_names:
             raise ConfigurationError("a rack needs at least one server")
         if len(set(server_names)) != len(server_names):
             raise ConfigurationError("duplicate server names")
         self.engine = engine or Engine()
-        self.fabric = Fabric(costs=costs)
+        self.fabric = Fabric(costs=costs, telemetry=telemetry)
+        # All spans/metrics run on simulated time, whichever hub we carry.
+        self.telemetry = self.fabric.telemetry
+        self.telemetry.bind_clock(lambda: self.engine.now)
         self.buff_size = buff_size
         self.stripe = stripe
         self.rng = DeterministicRng(rng_seed)
@@ -66,6 +71,8 @@ class Rack:
         self.controller = GlobalMemoryController(ctr_node, buff_size=buff_size,
                                                  stripe=stripe)
         self.controller.events._clock = lambda: self.engine.now
+        if self.telemetry.enabled:
+            self.controller.events.attach_metrics(self.telemetry.registry)
         self.secondary = SecondaryController(
             sec_node, self.engine, heartbeat_period_s=heartbeat_period_s
         )
@@ -178,18 +185,44 @@ class Rack:
         vm = source.hypervisor.vms.get(vm_name)
         if vm is None:
             raise ConfigurationError(f"{src}: unknown VM {vm_name!r}")
-        vm.transition(VmState.MIGRATING)
-        local_pages = vm.table.resident_pages
-        remote_pages = vm.table.remote_pages
-        vm, store, stats, contents = source.hypervisor.release_vm(vm_name)
-        leases = len(store.lease_ids()) if store is not None else 0
-        result = migrate_zombiestack(local_pages, remote_pages,
-                                     remote_leases=leases)
-        if store is not None:
-            source.manager.transfer_store_out(store)
-            target.manager.transfer_store_in(store, old_user=src)
-        target.hypervisor.adopt_vm(vm, store, stats, contents)
-        vm.transition(VmState.RUNNING)
+        tel = self.telemetry
+        tracer = tel.tracer
+        with tracer.span("migrate.vm", vm=vm_name, src=src, dst=dst) as root:
+            with tracer.span("migrate.stop_and_copy", vm=vm_name):
+                vm.transition(VmState.MIGRATING)
+                local_pages = vm.table.resident_pages
+                remote_pages = vm.table.remote_pages
+                vm, store, stats, contents = source.hypervisor.release_vm(
+                    vm_name)
+                leases = len(store.lease_ids()) if store is not None else 0
+                result = migrate_zombiestack(local_pages, remote_pages,
+                                             remote_leases=leases)
+            with tracer.span("migrate.transfer_ownership", vm=vm_name,
+                             leases=leases):
+                if store is not None:
+                    source.manager.transfer_store_out(store)
+                    target.manager.transfer_store_in(store, old_user=src)
+            with tracer.span("migrate.resume", vm=vm_name):
+                target.hypervisor.adopt_vm(vm, store, stats, contents)
+                vm.transition(VmState.RUNNING)
+            if tel.enabled:
+                root.set_tag("pages_moved", result.pages_transferred)
+                root.set_tag("downtime_s", round(result.downtime_s, 6))
+                # The cost model, not the sim clock, knows how long the
+                # migration took; give the span that width.
+                root.span.end_s = root.span.start_s + result.total_time_s
+                registry = tel.registry
+                registry.counter("vm_migrations_total",
+                                 "Live migrations completed.",
+                                 protocol=result.protocol).inc()
+                registry.histogram("migration_seconds",
+                                   "Total migration duration.",
+                                   protocol=result.protocol
+                                   ).observe(result.total_time_s)
+                registry.histogram("migration_downtime_seconds",
+                                   "Stop-and-copy downtime per migration.",
+                                   protocol=result.protocol
+                                   ).observe(result.downtime_s)
         self.events.emit(EventKind.VM_MIGRATED, dst, vm=vm_name,
                          from_host=src,
                          pages_moved=result.pages_transferred)
@@ -212,38 +245,47 @@ class Rack:
         fences a healed old primary — its next stale-epoch call is
         rejected rack-wide.
         """
-        agent_clients = {
-            name: RpcClient(secondary.node, server.manager.rpc,
-                            retry_policy=self.retry_policy)
-            for name, server in self.servers.items()
-        }
-        new_controller = secondary.promote(self.buff_size,
-                                           agent_clients=agent_clients,
-                                           stripe=self.stripe)
-        for name, server in self.servers.items():
-            server.manager.attach_controller(
-                RpcClient(server.node, new_controller.rpc,
-                          retry_policy=self.retry_policy)
-            )
-        new_controller.events = self.controller.events
-        new_controller.recovery = self.recovery
-        self.controller = new_controller
-        # Make sure every reachable agent learns the new epoch *now*, so
-        # a healed old primary is fenced even if the new one stays quiet.
-        for name, server in sorted(self.servers.items()):
-            if not server.node.cpu_alive or not self.fabric.is_reachable(name):
-                continue  # zombies/partitioned hosts learn on first contact
-            try:
-                new_controller._agent_call(name, Method.HEARTBEAT)
-            except RpcError as exc:
-                # The host learns the epoch on first contact instead; the
-                # audit trail records who missed the eager push.
-                self.events.emit(EventKind.EPOCH_SYNC_SKIPPED, name,
-                                 epoch=new_controller.epoch,
-                                 error=type(exc).__name__)
-                continue
-        self.events.emit(EventKind.FAILOVER, "secondary-ctr",
-                         epoch=new_controller.epoch)
+        tel = self.telemetry
+        with tel.tracer.span("failover.promote",
+                             node="secondary-ctr") as span:
+            agent_clients = {
+                name: RpcClient(secondary.node, server.manager.rpc,
+                                retry_policy=self.retry_policy)
+                for name, server in self.servers.items()
+            }
+            new_controller = secondary.promote(self.buff_size,
+                                               agent_clients=agent_clients,
+                                               stripe=self.stripe)
+            for name, server in self.servers.items():
+                server.manager.attach_controller(
+                    RpcClient(server.node, new_controller.rpc,
+                              retry_policy=self.retry_policy)
+                )
+            new_controller.events = self.controller.events
+            new_controller.recovery = self.recovery
+            self.controller = new_controller
+            # Make sure every reachable agent learns the new epoch *now*,
+            # so a healed old primary is fenced even if the new one stays
+            # quiet.
+            for name, server in sorted(self.servers.items()):
+                if (not server.node.cpu_alive
+                        or not self.fabric.is_reachable(name)):
+                    continue  # zombies/partitioned hosts learn on contact
+                try:
+                    new_controller._agent_call(name, Method.HEARTBEAT)
+                except RpcError as exc:
+                    # The host learns the epoch on first contact instead;
+                    # the audit trail records who missed the eager push.
+                    self.events.emit(EventKind.EPOCH_SYNC_SKIPPED, name,
+                                     epoch=new_controller.epoch,
+                                     error=type(exc).__name__)
+                    continue
+            self.events.emit(EventKind.FAILOVER, "secondary-ctr",
+                             epoch=new_controller.epoch)
+            span.set_tag("epoch", new_controller.epoch)
+        if tel.enabled:
+            tel.registry.counter("failovers_total",
+                                 "Secondary promotions performed.").inc()
 
     def kill_controller(self) -> None:
         """Simulate a primary-controller crash (for failover tests).

@@ -144,6 +144,10 @@ class RecoveryCoordinator:
         controller = self.controller
         fabric = controller.node.fabric
         self.probes_sent += 1
+        if fabric.telemetry.enabled:
+            fabric.telemetry.registry.counter(
+                "recovery_probes_total",
+                "Liveness probes sent by the recovery monitor.").inc()
         if not fabric.is_reachable(host):
             return False
         if host in controller.zombie_hosts:
@@ -186,57 +190,82 @@ class RecoveryCoordinator:
         controller = self.controller
         if host in self.lost_hosts:
             return None
-        mark = len(controller.db.journal)
-        descriptors = sorted(controller.db.by_host(host),
-                             key=lambda b: b.buffer_id)
-        stats = HostRecoveryStats(host=host, detected_at=self.engine.now,
-                                  buffers_lost=len(descriptors))
-        per_user: Dict[str, List[int]] = {}
-        for descriptor in descriptors:
-            controller.db.set_kind(descriptor.buffer_id, BufferKind.LOST)
-            if descriptor.user is not None:
-                per_user.setdefault(descriptor.user, []).append(
-                    descriptor.buffer_id
-                )
-        stats.users_affected = len(per_user)
-        stats.user_buffers_lost = {u: len(ids) for u, ids in per_user.items()}
-        stats.allocated_buffers_lost = sum(stats.user_buffers_lost.values())
-        stats.max_user_buffers_lost = max(stats.user_buffers_lost.values(),
-                                          default=0)
-        for user, ids in sorted(per_user.items()):
-            try:
-                fallbacks = controller._agent_call(
-                    user, Method.US_INVALIDATE, host, ids
-                )
-                stats.pages_fallback += fallbacks
-                controller.events.emit(EventKind.BUFFERS_INVALIDATED, user,
-                                       serving_host=host, buffers=len(ids),
-                                       fallback_pages=fallbacks)
-            except FencingError:
-                raise  # we were deposed mid-recovery: abort loudly
-            except (RpcError, ControllerError):  # zl: ignore[ZL005] counted in notify_failures; HOST_LOST reports it
-                stats.notify_failures += 1
-                owed = self._pending_invalidate.setdefault(
-                    user, {}).setdefault(host, [])
-                owed.extend(x for x in ids if x not in owed)
-        for descriptor in descriptors:
-            controller.db.remove(descriptor.buffer_id)
-            controller.allocation_purpose.pop(descriptor.buffer_id, None)
-        if host in controller.zombie_hosts:
-            controller.zombie_hosts.discard(host)
-            controller._emit("zombie_remove", (host,))
-        controller._flush_journal(mark)
-        self.lost_hosts.add(host)
-        self._misses[host] = 0
-        self._pending_resync[host] = [d.buffer_id for d in descriptors]
-        self.incidents.append(stats)
-        self._open_incident[host] = stats
-        controller.events.emit(
-            EventKind.HOST_LOST, host, buffers=stats.buffers_lost,
-            users=stats.users_affected, fallback_pages=stats.pages_fallback,
-            max_user_buffers=stats.max_user_buffers_lost,
-            reported_by=reported_by or "monitor",
-        )
+        tel = controller.node.fabric.telemetry
+        with tel.tracer.span("recover.host_lost", host=host,
+                             node=controller.node.name,
+                             reported_by=reported_by or "monitor") as span:
+            mark = len(controller.db.journal)
+            descriptors = sorted(controller.db.by_host(host),
+                                 key=lambda b: b.buffer_id)
+            stats = HostRecoveryStats(host=host, detected_at=self.engine.now,
+                                      buffers_lost=len(descriptors))
+            per_user: Dict[str, List[int]] = {}
+            for descriptor in descriptors:
+                controller.db.set_kind(descriptor.buffer_id, BufferKind.LOST)
+                if descriptor.user is not None:
+                    per_user.setdefault(descriptor.user, []).append(
+                        descriptor.buffer_id
+                    )
+            stats.users_affected = len(per_user)
+            stats.user_buffers_lost = {u: len(ids)
+                                       for u, ids in per_user.items()}
+            stats.allocated_buffers_lost = sum(
+                stats.user_buffers_lost.values())
+            stats.max_user_buffers_lost = max(
+                stats.user_buffers_lost.values(), default=0)
+            for user, ids in sorted(per_user.items()):
+                try:
+                    fallbacks = controller._agent_call(
+                        user, Method.US_INVALIDATE, host, ids
+                    )
+                    stats.pages_fallback += fallbacks
+                    controller.events.emit(EventKind.BUFFERS_INVALIDATED,
+                                           user, serving_host=host,
+                                           buffers=len(ids),
+                                           fallback_pages=fallbacks)
+                except FencingError:
+                    raise  # we were deposed mid-recovery: abort loudly
+                except (RpcError, ControllerError):  # zl: ignore[ZL005] counted in notify_failures; HOST_LOST reports it
+                    stats.notify_failures += 1
+                    owed = self._pending_invalidate.setdefault(
+                        user, {}).setdefault(host, [])
+                    owed.extend(x for x in ids if x not in owed)
+            for descriptor in descriptors:
+                controller.db.remove(descriptor.buffer_id)
+                controller.allocation_purpose.pop(descriptor.buffer_id, None)
+            if host in controller.zombie_hosts:
+                controller.zombie_hosts.discard(host)
+                controller._emit("zombie_remove", (host,))
+            controller._flush_journal(mark)
+            self.lost_hosts.add(host)
+            self._misses[host] = 0
+            self._pending_resync[host] = [d.buffer_id for d in descriptors]
+            self.incidents.append(stats)
+            self._open_incident[host] = stats
+            controller.events.emit(
+                EventKind.HOST_LOST, host, buffers=stats.buffers_lost,
+                users=stats.users_affected,
+                fallback_pages=stats.pages_fallback,
+                max_user_buffers=stats.max_user_buffers_lost,
+                reported_by=reported_by or "monitor",
+            )
+            span.set_tag("buffers_lost", stats.buffers_lost)
+            span.set_tag("users_affected", stats.users_affected)
+        if tel.enabled:
+            registry = tel.registry
+            registry.counter("recovery_incidents_total",
+                             "Serving-host-loss incidents declared.").inc()
+            registry.counter(
+                "recovery_buffers_invalidated_total",
+                "Buffer records purged by host-loss recovery.",
+            ).inc(stats.buffers_lost)
+            registry.counter(
+                "recovery_fallback_pages_total",
+                "Pages forced onto the local mirror by host loss.",
+            ).inc(stats.pages_fallback)
+            registry.gauge("lost_hosts",
+                           "Hosts currently declared lost.").set(
+                len(self.lost_hosts))
         return stats
 
     def declare_host_recovered(self, host: str) -> None:
@@ -249,6 +278,16 @@ class RecoveryCoordinator:
         if stats is not None:
             stats.recovered_at = self.engine.now
         self.controller.events.emit(EventKind.HOST_RECOVERED, host)
+        tel = self.controller.node.fabric.telemetry
+        if tel.enabled:
+            tel.registry.gauge("lost_hosts",
+                               "Hosts currently declared lost.").set(
+                len(self.lost_hosts))
+            if stats is not None:
+                tel.registry.histogram(
+                    "recovery_outage_seconds",
+                    "Declared-lost to recovered, per incident.",
+                ).observe(stats.recovered_at - stats.detected_at)
         self._try_resync(host)
 
     def _try_resync(self, host: str) -> None:

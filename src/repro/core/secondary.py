@@ -40,7 +40,9 @@ class SecondaryController:
         #: the deposed primary are rejected with :class:`FencingError`.
         self.epoch = 1
         self.rpc = RpcServer(node)
-        self.rpc.register(Method.MIRROR_OP.value, self.apply_mirror)
+        self.rpc.register(Method.MIRROR_OP.value,
+                          self.rpc.traced(Method.MIRROR_OP.value,
+                                          self.apply_mirror))
         self.miss_threshold = miss_threshold
         self.consecutive_misses = 0
         self.heartbeats_ok = 0

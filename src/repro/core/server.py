@@ -59,7 +59,8 @@ class RackServer:
         self.node: RdmaNode = fabric.add_node(name, platform=self.platform)
         usable = memory_bytes - host_reserve_bytes
         self.allocator = FrameAllocator(pages(usable) )
-        self.hypervisor = Hypervisor(name, self.allocator)
+        self.hypervisor = Hypervisor(name, self.allocator,
+                                     telemetry=fabric.telemetry)
         self.manager = RemoteMemoryManager(name, self.node, self.allocator,
                                            buff_size=buff_size)
         # Sz entry triggers memory delegation from inside the suspend path

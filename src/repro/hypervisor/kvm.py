@@ -65,9 +65,26 @@ class Hypervisor:
 
     def __init__(self, host: str, allocator: FrameAllocator,
                  content_mode: bool = False,
-                 prefetch_window: int = 0):
+                 prefetch_window: int = 0,
+                 telemetry=None):
         self.host = host
         self.allocator = allocator
+        #: ZomTrace hub (usually the fabric's).  Instruments for the
+        #: fault path are resolved once here; the local-hit fast path in
+        #: :meth:`access` stays completely untouched.
+        self._tel = telemetry if (telemetry is not None
+                                  and telemetry.enabled) else None
+        if self._tel is not None:
+            registry = self._tel.registry
+            self._m_faults = registry.counter(
+                "hv_page_faults_total", "Hypervisor page faults taken.",
+                host=host)
+            self._m_fault_seconds = registry.histogram(
+                "hv_fault_seconds", "Full fault-path latency per fault.",
+                host=host)
+            self._m_remote_fills = registry.counter(
+                "hv_remote_fills_total",
+                "Faults served by reading a remote slot.", host=host)
         #: Sequential readahead: after two consecutive remote fills of
         #: adjacent pages, pull up to this many following remote pages in
         #: one batched transfer (0 = off, the paper's configuration).
@@ -204,6 +221,9 @@ class Hypervisor:
             vm.table.entry(ppn).dirty = True
         stats.time_total_s += cost
         stats.time_faults_s += cost
+        if self._tel is not None:
+            self._m_faults.inc()
+            self._m_fault_seconds.observe(cost)
         return cost
 
     def write_page(self, vm: Vm, ppn: int, data: bytes) -> float:
@@ -241,6 +261,8 @@ class Hypervisor:
             store.free(entry.remote_slot)
             cost += elapsed
             stats.remote_fills += 1
+            if self._tel is not None:
+                self._m_remote_fills.inc()
             if self.content_mode:
                 expected = self._contents[vm.name].get(ppn)
                 if expected is not None and store.transfer_content:
@@ -325,6 +347,11 @@ class Hypervisor:
         self.allocator.free(frame)
         vm.local_frames_used -= 1
         stats.evictions += 1
+        if self._tel is not None:
+            self._tel.registry.counter(
+                "hv_evictions_total",
+                "Victim pages demoted to the remote store.",
+                host=self.host, policy=vm.policy.name).inc()
         return spent_cycles / CPU_HZ + elapsed
 
     # -- host-level views ----------------------------------------------------

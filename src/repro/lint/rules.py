@@ -22,6 +22,8 @@ RULE_DESCRIPTIONS = {
     "ZL005": "RpcError swallowed without raise, return, or event emission",
     "ZL006": "registered RPC handler missing from the ZomCheck model "
              "action set (or vice versa)",
+    "ZL007": "protocol-verb RPC handler registered without a "
+             "server.traced(...) span wrapper",
 }
 
 ALL_RULES = tuple(sorted(RULE_DESCRIPTIONS))
@@ -291,13 +293,92 @@ def check_model_drift(sources: Dict[Path, str]) -> List[Finding]:
     return findings
 
 
+def check_traced_registrations(sources: Dict[Path, str]) -> List[Finding]:
+    """ZL007: every protocol-verb registration must go through ``traced``.
+
+    ZomTrace's causal RPC tracing hangs off the server-side
+    ``serve.<verb>`` span that :meth:`RpcServer.traced` opens; a protocol
+    verb registered with a bare handler silently drops out of every
+    trace.  The verb set is the model's :data:`RPC_ACTION_VERBS` contract
+    (the same source of truth ZL006 checks), so ad-hoc verbs used by unit
+    fixtures (plain-string registrations) stay exempt.  The wrapper must
+    also be built *for the same verb* it is registered under — a
+    mismatched ``traced`` verb mislabels every span it emits.
+    """
+    model_path = next(
+        (p for p in sorted(sources)
+         if p.parts[-2:] == ("check", "model.py")), None
+    )
+    protocol_path = next(
+        (p for p in sorted(sources)
+         if p.parts[-2:] == ("core", "protocol.py")), None
+    )
+    if model_path is None or protocol_path is None:
+        return []  # not linting a tree that carries both sides
+    parsed = _model_action_verbs(sources[model_path])
+    if parsed is None:
+        return []  # ZL006 already reports the missing contract
+    model_verbs = set(parsed[0])
+    verb_of_member = {member: verb for member, verb, _
+                      in _protocol_members(sources[protocol_path])}
+    findings: List[Finding] = []
+    for path, source in sorted(sources.items()):
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or len(node.args) < 2:
+                continue
+            if _terminal_name(node.func) != "register":
+                continue
+            member = _method_member(node.args[0])
+            if member is None:
+                continue  # plain-string fixture verbs are exempt
+            verb = verb_of_member.get(member)
+            if verb is None or verb not in model_verbs:
+                continue
+            handler = node.args[1]
+            if (not isinstance(handler, ast.Call)
+                    or _terminal_name(handler.func) != "traced"):
+                findings.append(Finding(
+                    "ZL007", str(path), node.lineno,
+                    f"verb {verb!r} registered without a server.traced(...) "
+                    "wrapper; its handler never appears in any trace"
+                ))
+                continue
+            wrapped_member = (_method_member(handler.args[0])
+                              if handler.args else None)
+            if wrapped_member is not None and wrapped_member != member:
+                findings.append(Finding(
+                    "ZL007", str(path), node.lineno,
+                    f"verb {verb!r} registered with traced(Method."
+                    f"{wrapped_member}.value, ...); the span wrapper must "
+                    "carry the verb it is registered under"
+                ))
+    return findings
+
+
+def _method_member(node: ast.AST) -> Optional[str]:
+    """``Method.X.value`` → ``"X"`` (None for anything else)."""
+    dotted = _dotted_name(node)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if len(parts) >= 3 and parts[-3] == "Method" and parts[-1] == "value":
+        return parts[-2]
+    return None
+
+
 def check_project(sources: Dict[Path, str],
                   rules: Optional[Sequence[str]] = None) -> List[Finding]:
-    """The project-wide rules: ZL003 and ZL006."""
+    """The project-wide rules: ZL003, ZL006 and ZL007."""
     active = set(rules or ALL_RULES)
     findings: List[Finding] = []
     if "ZL006" in active:
         findings.extend(check_model_drift(sources))
+    if "ZL007" in active:
+        findings.extend(check_traced_registrations(sources))
     if "ZL003" not in active:
         return findings
     protocol_path = next(

@@ -1,0 +1,69 @@
+"""ZomTrace CLI: per-run reports, exports, and the self-check.
+
+Usage::
+
+    python -m repro.obs                    # golden scenario + text report
+    python -m repro.obs --self-check       # contract check, exit 0/1
+    python -m repro.obs --perfetto t.json  # also write a Chrome trace
+    python -m repro.obs --prometheus m.prom
+    python -m repro.obs --top 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="ZomTrace: run an instrumented rack scenario and "
+                    "render its observability report.",
+    )
+    parser.add_argument("--self-check", action="store_true",
+                        help="verify the observability contract (all 15 "
+                             "verbs traced, connected span trees, valid "
+                             "exports); exit 1 on any violation")
+    parser.add_argument("--perfetto", metavar="PATH",
+                        help="write the Chrome-trace/Perfetto JSON here")
+    parser.add_argument("--prometheus", metavar="PATH",
+                        help="write the Prometheus text exposition here")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="slowest spans to list in the report "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    from repro.obs.selfcheck import run_golden_scenario, self_check
+
+    if args.self_check:
+        problems = self_check()
+        if problems:
+            for problem in problems:
+                print(f"FAIL {problem}")
+            print(f"\nself-check: {len(problems)} problem(s)")
+            return 1
+        print("self-check: ok (15/15 verbs traced, span forest connected, "
+              "exports valid)")
+        return 0
+
+    rack = run_golden_scenario()
+    tel = rack.telemetry
+    if args.prometheus:
+        from repro.obs.export import to_prometheus_text
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(to_prometheus_text(tel.registry))
+        print(f"wrote {args.prometheus}")
+    if args.perfetto:
+        from repro.obs.export import to_chrome_trace
+        with open(args.perfetto, "w", encoding="utf-8") as fh:
+            fh.write(to_chrome_trace(tel.tracer, tel.registry))
+        print(f"wrote {args.perfetto}")
+    from repro.obs.report import render_report
+    print(render_report(tel, top_n=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

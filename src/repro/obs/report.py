@@ -1,0 +1,136 @@
+"""Per-run report: the human-readable summary behind ``python -m repro.obs``.
+
+Renders, from one :class:`~repro.obs.Telemetry` hub:
+
+- per-verb RPC latency percentiles (p50/p90/p99 from the registry's
+  ``rpc_call_seconds`` histograms) plus call/retry/failure counts,
+- the top-N slowest finished spans with their trace lineage,
+- Sz residency (how long hosts dwelt in the zombie state, and how many
+  sit there now),
+- a one-line census of everything else the registry holds.
+
+Everything is plain text so it drops into CI logs and BENCH JSON
+side-by-side; machine consumers should use the exporters instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Telemetry
+
+
+def _fmt_s(seconds: float) -> str:
+    """Human-scale a simulated duration."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _verb_table(registry: MetricsRegistry) -> List[str]:
+    label_sets = registry.labels_for("rpc_call_seconds")
+    if not label_sets:
+        return ["  (no RPC calls recorded)"]
+    lines = [
+        f"  {'verb':<22} {'calls':>6} {'p50':>10} {'p90':>10} "
+        f"{'p99':>10} {'retries':>7} {'errors':>6}"
+    ]
+    for labels in label_sets:
+        verb = labels.get("verb", "?")
+        hist = registry.get("rpc_call_seconds", **labels)
+        if not isinstance(hist, Histogram) or hist.count == 0:
+            continue
+        retries = registry.value("rpc_retries_total", verb=verb)
+        errors = registry.value("rpc_failures_total", verb=verb)
+        lines.append(
+            f"  {verb:<22} {hist.count:>6} "
+            f"{_fmt_s(hist.quantile(0.5)):>10} "
+            f"{_fmt_s(hist.quantile(0.9)):>10} "
+            f"{_fmt_s(hist.quantile(0.99)):>10} "
+            f"{int(retries):>7} {int(errors):>6}"
+        )
+    return lines
+
+
+def _sz_residency(registry: MetricsRegistry) -> List[str]:
+    lines: List[str] = []
+    dwell = registry.get("sz_dwell_seconds")
+    if isinstance(dwell, Histogram) and dwell.count:
+        lines.append(
+            f"  completed Sz stays: {dwell.count} "
+            f"(mean {_fmt_s(dwell.mean)}, p50 {_fmt_s(dwell.quantile(0.5))}, "
+            f"max {_fmt_s(dwell.max or 0.0)})"
+        )
+    current = registry.get("zombie_hosts")
+    if current is not None:
+        lines.append(f"  hosts in Sz now: {int(current.value)}")  # type: ignore[union-attr]
+    entered = registry.value("sz_transitions_total", direction="enter")
+    left = registry.value("sz_transitions_total", direction="exit")
+    if entered or left:
+        lines.append(f"  transitions: {int(entered)} enter / {int(left)} exit")
+    if not lines:
+        lines.append("  (no Sz activity recorded)")
+    return lines
+
+
+def render_report(telemetry: "Telemetry", top_n: int = 10) -> str:
+    """The full plain-text per-run report."""
+    registry = telemetry.registry
+    tracer = telemetry.tracer
+    lines: List[str] = []
+    lines.append("=" * 72)
+    lines.append("ZomTrace run report")
+    lines.append("=" * 72)
+    if not telemetry.enabled:
+        lines.append("telemetry was DISABLED for this run; nothing recorded")
+        return "\n".join(lines) + "\n"
+
+    lines.append("")
+    lines.append("Per-verb RPC latency")
+    lines.append("-" * 72)
+    lines.extend(_verb_table(registry))
+
+    lines.append("")
+    lines.append(f"Top {top_n} slowest spans")
+    lines.append("-" * 72)
+    slowest = tracer.slowest(top_n)
+    if not slowest:
+        lines.append("  (no finished spans)")
+    for span in slowest:
+        parent = f" <- #{span.parent_id}" if span.parent_id else " (root)"
+        node = span.tags.get("node")
+        where = f" @{node}" if node else ""
+        lines.append(
+            f"  {_fmt_s(span.duration_s):>10}  {span.name}{where}"
+            f"  [trace {span.trace_id} span #{span.span_id}{parent}]"
+            + ("" if span.status == "ok" else f"  !{span.status}")
+        )
+    if tracer.dropped:
+        lines.append(f"  ({tracer.dropped} older spans dropped by ring buffer)")
+
+    lines.append("")
+    lines.append("Sz residency")
+    lines.append("-" * 72)
+    lines.extend(_sz_residency(registry))
+
+    lines.append("")
+    lines.append("Registry census")
+    lines.append("-" * 72)
+    families = registry.families()
+    if not families:
+        lines.append("  (empty)")
+    for family in families:
+        lines.append(
+            f"  {family.name} ({family.kind}): "
+            f"{len(family.children)} series"
+        )
+    lines.append(
+        f"  spans recorded: {len(tracer.spans)}"
+        f" | timeline samples: {len(tracer.samples)}"
+    )
+    return "\n".join(lines) + "\n"

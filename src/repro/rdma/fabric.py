@@ -20,6 +20,7 @@ from typing import Dict, Optional
 
 from repro.acpi.platform import ServerPlatform
 from repro.errors import RdmaError
+from repro.obs import Telemetry
 from repro.rdma.costs import RdmaCostModel
 from repro.rdma.verbs import (AccessFlags, MemoryRegion, ProtectionDomain,
                               QueuePair)
@@ -162,11 +163,16 @@ class Fabric:
     server's NIC listens for.
     """
 
-    def __init__(self, costs: Optional[RdmaCostModel] = None):
+    def __init__(self, costs: Optional[RdmaCostModel] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.costs = costs or RdmaCostModel()
         self.nodes: Dict[str, RdmaNode] = {}
         self.stats = FabricStats()
         self.partitioned: set = set()
+        #: The rack's ZomTrace hub.  Every fabric carries one so
+        #: instrumented code can always reach ``node.fabric.telemetry``;
+        #: the default hub is disabled (no-op instruments, no spans).
+        self.telemetry = telemetry or Telemetry(enabled=False)
 
     def add_node(self, name: str,
                  platform: Optional[ServerPlatform] = None) -> RdmaNode:

@@ -20,7 +20,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.errors import CircuitOpenError, RpcError, RpcTimeoutError
+from repro.errors import (CircuitOpenError, FencingError, RpcError,
+                          RpcTimeoutError)
+from repro.obs.tracing import WIRE_CONTEXT_KEY
 from repro.rdma.fabric import RdmaNode
 from repro.sim.rng import DeterministicRng
 
@@ -188,8 +190,48 @@ class RpcServer:
             raise RpcError(f"{self.node.name}: unknown RPC method {method!r}")
         del self.handlers[method]
 
+    def traced(self, verb: str, handler: Handler) -> Handler:
+        """Wrap ``handler`` in a server-side ``serve.<verb>`` span.
+
+        The span adopts the caller's propagated wire context as its
+        parent, so the server side of an RPC hangs off the exact attempt
+        that carried it — across retries and across a failover to a
+        promoted secondary.  A :class:`~repro.errors.FencingError` from
+        the handler tags the span ``fenced`` (the epoch-stale branch is
+        an *outcome* worth seeing in a timeline, not just an exception).
+        ZomLint rule ZL007 statically requires every protocol-verb
+        registration to pass through this wrapper.
+        """
+        def serve(*args: Any, **kwargs: Any) -> Any:
+            tel = self.node.fabric.telemetry
+            if not tel.enabled:
+                return handler(*args, **kwargs)
+            tracer = tel.tracer
+            tel.registry.counter(
+                "rpc_served_total", "Server-side handler invocations.",
+                verb=verb, node=self.node.name).inc()
+            with tracer.span(f"serve.{verb}", parent=tracer.wire_context(),
+                             verb=verb, node=self.node.name) as span:
+                if "epoch" in kwargs:
+                    span.set_tag("epoch", kwargs["epoch"])
+                try:
+                    return handler(*args, **kwargs)
+                except FencingError:
+                    span.set_tag("fenced", True)
+                    raise
+        serve.__name__ = f"serve_{verb}"
+        serve.__wrapped__ = handler  # type: ignore[attr-defined]
+        return serve
+
     def dispatch(self, method: str, args: tuple, kwargs: dict) -> Any:
-        """Server-side dispatch; requires a live CPU."""
+        """Server-side dispatch; requires a live CPU.
+
+        The transport strips the trace-context metadata key before the
+        handler sees the arguments (handlers keep their verb signatures)
+        and activates it as the tracer's wire context for the duration
+        of the handler, where :meth:`traced` wrappers pick it up.
+        """
+        ctx = kwargs.pop(WIRE_CONTEXT_KEY, None)
         if not self.node.cpu_alive:
             raise RpcTimeoutError(
                 f"{self.node.name}: server suspended, RPC daemon not running"
@@ -198,7 +240,14 @@ class RpcServer:
         if handler is None:
             raise RpcError(f"{self.node.name}: unknown RPC method {method!r}")
         self.calls_served += 1
-        return handler(*args, **kwargs)
+        tel = self.node.fabric.telemetry
+        if not tel.enabled:
+            return handler(*args, **kwargs)
+        tel.tracer.push_wire_context(ctx)
+        try:
+            return handler(*args, **kwargs)
+        finally:
+            tel.tracer.pop_wire_context()
 
 
 class RpcClient:
@@ -239,6 +288,62 @@ class RpcClient:
     def call_timed(self, method: str, *args: Any,
                    **kwargs: Any) -> Tuple[Any, float]:
         """Like :meth:`call` but also returns the simulated elapsed time."""
+        tel = self.node.fabric.telemetry
+        if not tel.enabled:
+            return self._call_with_retries(method, args, kwargs)
+        registry = tel.registry
+        registry.counter(
+            "rpc_calls_total", "Logical RPC calls issued (before retries).",
+            verb=method).inc()
+        spent_before = self.time_spent_s
+        retries_before = self.retries
+        with tel.tracer.span(f"call.{method}", verb=method,
+                             node=self.node.name,
+                             target=self.server.node.name) as span:
+            if "epoch" in kwargs:
+                span.set_tag("epoch", kwargs["epoch"])
+            try:
+                result, elapsed = self._call_with_retries(method, args, kwargs)
+            except BaseException as exc:
+                if isinstance(exc, CircuitOpenError):
+                    outcome = "breaker_open"
+                elif isinstance(exc, RpcTimeoutError):
+                    outcome = "timeout"
+                elif isinstance(exc, FencingError):
+                    outcome = "fenced"
+                    span.set_tag("fenced", True)
+                else:
+                    outcome = "error"
+                registry.counter(
+                    "rpc_failures_total", "Logical RPC calls that raised.",
+                    verb=method, outcome=outcome).inc()
+                self._note_retries(registry, span, method,
+                                   self.retries - retries_before)
+                span.span.end_s = (span.span.start_s
+                                   + (self.time_spent_s - spent_before))
+                raise
+            logical = self.time_spent_s - spent_before
+            self._note_retries(registry, span, method,
+                               self.retries - retries_before)
+            registry.histogram(
+                "rpc_call_seconds",
+                "Logical RPC latency: attempts, timeouts and backoff.",
+                verb=method).observe(logical)
+            # Simulated time does not flow while the handler runs, so the
+            # span takes its width from the cost model, not the clock.
+            span.span.end_s = span.span.start_s + logical
+        return result, elapsed
+
+    def _note_retries(self, registry, span, method: str, retried: int) -> None:
+        if retried:
+            span.set_tag("retries", retried)
+            registry.counter("rpc_retries_total",
+                             "Retry attempts beyond the first.",
+                             verb=method).inc(retried)
+
+    def _call_with_retries(self, method: str, args: tuple,
+                           kwargs: dict) -> Tuple[Any, float]:
+        """The uninstrumented retry loop (single attempt without a policy)."""
         policy = self.retry_policy
         if policy is None:
             return self._attempt(method, args, kwargs)
@@ -286,7 +391,33 @@ class RpcClient:
 
     def _attempt(self, method: str, args: tuple,
                  kwargs: dict) -> Tuple[Any, float]:
-        """One un-retried request/poll round."""
+        """One un-retried request/poll round, as its own span.
+
+        The trace context is (re-)injected into the request metadata per
+        attempt — the server strips it on dispatch, so a retried request
+        must carry it again, and each server-side span then parents to
+        the attempt that actually reached it.
+        """
+        tel = self.node.fabric.telemetry
+        if not tel.enabled:
+            return self._attempt_inner(method, args, kwargs)
+        tracer = tel.tracer
+        with tracer.span(f"attempt.{method}", verb=method,
+                         node=self.node.name) as span:
+            ctx = tracer.current_context()
+            if ctx is not None:
+                kwargs[WIRE_CONTEXT_KEY] = ctx
+            try:
+                result, elapsed = self._attempt_inner(method, args, kwargs)
+            except RpcTimeoutError:
+                span.span.end_s = span.span.start_s + self.timeout_s
+                raise
+            span.span.end_s = span.span.start_s + elapsed
+            return result, elapsed
+
+    def _attempt_inner(self, method: str, args: tuple,
+                       kwargs: dict) -> Tuple[Any, float]:
+        """The wire-level request/poll round."""
         if not self.node.cpu_alive:
             raise RpcError(f"{self.node.name}: client CPU suspended")
         self.node.fabric.require_reachable(self.node.name)

@@ -45,8 +45,15 @@ class WorkloadResult:
 
 
 def run_stream(stream: Iterable[Tuple[int, bool]], access_fn: AccessFn,
-               compute_s: float = 0.0) -> WorkloadResult:
-    """Drive every access in ``stream`` through ``access_fn``."""
+               compute_s: float = 0.0, metrics=None,
+               workload: str = "workload") -> WorkloadResult:
+    """Drive every access in ``stream`` through ``access_fn``.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) records
+    the run into ``workload_accesses_total{workload=...}`` and
+    ``workload_memory_seconds_total`` / ``workload_compute_seconds_total``
+    so benchmark harnesses can assert on the registry.
+    """
     if compute_s < 0:
         raise ConfigurationError(f"negative compute_s {compute_s}")
     memory_time = 0.0
@@ -55,6 +62,16 @@ def run_stream(stream: Iterable[Tuple[int, bool]], access_fn: AccessFn,
         memory_time += access_fn(ppn, is_write)
         count += 1
     compute_time = compute_s * count
+    if metrics is not None:
+        metrics.counter("workload_accesses_total",
+                        "Memory accesses driven through a paging engine.",
+                        workload=workload).inc(count)
+        metrics.counter("workload_memory_seconds_total",
+                        "Modelled memory-access time.",
+                        workload=workload).inc(memory_time)
+        metrics.counter("workload_compute_seconds_total",
+                        "Modelled compute time.",
+                        workload=workload).inc(compute_time)
     return WorkloadResult(
         accesses=count,
         sim_time_s=memory_time + compute_time,

@@ -53,6 +53,34 @@ class TestEventLog:
                          from_host="src")
         assert event.detail == {"vm": "web", "from_host": "src"}
 
+    def test_unbounded_log_never_drops(self):
+        log = EventLog(capacity=None)
+        for _ in range(250):
+            log.emit(EventKind.ALLOC_EXT, "h")
+        assert len(log) == 250
+        assert log.dropped == 0
+
+    def test_metrics_bridge_counts_by_kind(self):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        log = EventLog(capacity=2)
+        log.attach_metrics(registry)
+        for _ in range(3):
+            log.emit(EventKind.ALLOC_EXT, "h")
+        log.emit(EventKind.FAILOVER, "sec")
+        # The ring dropped two events, the exported counts did not.
+        assert len(log) == 2
+        assert registry.value("rack_events_total", kind="alloc-ext") == 3
+        assert registry.value("rack_events_total", kind="failover") == 1
+
+    def test_rack_bridges_audit_log_when_telemetry_enabled(self):
+        from repro.obs import Telemetry
+        rack = Rack(["a", "z"], memory_bytes=128 * MiB, buff_size=8 * MiB,
+                    telemetry=Telemetry(enabled=True))
+        rack.make_zombie("z")
+        registry = rack.telemetry.registry
+        assert registry.value("rack_events_total", kind="zombie-enter") == 1
+
 
 class TestRackAuditTrail:
     def test_full_lifecycle_is_audited(self):

@@ -140,7 +140,8 @@ class TestSuppressions:
         assert [(f.rule, f.line) for f in findings] == [("ZL001", 3)]
 
 
-def _protocol_tree(tmp_path, register=True, document=True, verbs=("GS_ping",)):
+def _protocol_tree(tmp_path, register=True, document=True, verbs=("GS_ping",),
+                   traced=False):
     """A minimal src/ tree carrying a Method enum, wiring, and docs."""
     core = tmp_path / "src" / "repro" / "core"
     core.mkdir(parents=True)
@@ -150,9 +151,16 @@ def _protocol_tree(tmp_path, register=True, document=True, verbs=("GS_ping",)):
         "import enum\n\n"
         "class Method(str, enum.Enum):\n" + members + "\n")
     if register:
-        registrations = "\n".join(
-            f"    rpc.register(Method.{v.upper()}.value, handler)"
-            for v in verbs)
+        if traced:
+            registrations = "\n".join(
+                f"    rpc.register(Method.{v.upper()}.value,\n"
+                f"                 rpc.traced(Method.{v.upper()}.value, "
+                f"handler))"
+                for v in verbs)
+        else:
+            registrations = "\n".join(
+                f"    rpc.register(Method.{v.upper()}.value, handler)"
+                for v in verbs)
         (core / "wiring.py").write_text(
             "from repro.core.protocol import Method\n\n"
             "def wire(rpc, handler):\n" + registrations + "\n")
@@ -210,7 +218,7 @@ def _model_file(tmp_path, verbs):
 
 class TestZL006ModelDrift:
     def test_agreeing_model_is_clean(self, tmp_path):
-        src = _protocol_tree(tmp_path)
+        src = _protocol_tree(tmp_path, traced=True)
         _model_file(tmp_path, ("GS_ping",))
         assert lint_paths([str(src)]) == []
 
@@ -247,6 +255,62 @@ class TestZL006ModelDrift:
         assert lint_paths([str(REPO_SRC)], rules=["ZL006"]) == []
 
 
+class TestZL007TracedRegistrations:
+    def test_traced_registration_is_clean(self, tmp_path):
+        src = _protocol_tree(tmp_path, traced=True)
+        _model_file(tmp_path, ("GS_ping",))
+        assert lint_paths([str(src)], rules=["ZL007"]) == []
+
+    def test_bare_protocol_registration_flagged(self, tmp_path):
+        src = _protocol_tree(tmp_path)
+        _model_file(tmp_path, ("GS_ping",))
+        findings = lint_paths([str(src)], rules=["ZL007"])
+        assert _rules(findings) == ["ZL007"]
+        assert "GS_ping" in findings[0].message
+        assert "traced" in findings[0].message
+
+    def test_verb_outside_model_contract_is_exempt(self, tmp_path):
+        # A registered verb the model does not check (ZL006's finding)
+        # is not also piled on by ZL007.
+        src = _protocol_tree(tmp_path, verbs=("GS_ping", "GS_pong"))
+        _model_file(tmp_path, ("GS_ping", "GS_pong"))
+        wiring = tmp_path / "src" / "repro" / "core" / "wiring.py"
+        wiring.write_text(
+            "from repro.core.protocol import Method\n\n"
+            "def wire(rpc, handler):\n"
+            "    rpc.register(Method.GS_PING.value,\n"
+            "                 rpc.traced(Method.GS_PING.value, handler))\n"
+            "    rpc.register('fixture_only', handler)\n"
+            "    register = rpc.register\n"
+            "    register(Method.GS_PONG.value, handler)\n")
+        findings = lint_paths([str(src)], rules=["ZL007"])
+        # plain-string fixtures exempt; the aliased bare GS_pong is not.
+        assert _rules(findings) == ["ZL007"]
+        assert "GS_pong" in findings[0].message
+
+    def test_mismatched_traced_verb_flagged(self, tmp_path):
+        src = _protocol_tree(tmp_path, verbs=("GS_ping", "GS_pong"))
+        _model_file(tmp_path, ("GS_ping", "GS_pong"))
+        wiring = tmp_path / "src" / "repro" / "core" / "wiring.py"
+        wiring.write_text(
+            "from repro.core.protocol import Method\n\n"
+            "def wire(rpc, handler):\n"
+            "    rpc.register(Method.GS_PING.value,\n"
+            "                 rpc.traced(Method.GS_PONG.value, handler))\n"
+            "    rpc.register(Method.GS_PONG.value,\n"
+            "                 rpc.traced(Method.GS_PONG.value, handler))\n")
+        findings = lint_paths([str(src)], rules=["ZL007"])
+        assert _rules(findings) == ["ZL007"]
+        assert "carry the verb" in findings[0].message
+
+    def test_tree_without_model_is_exempt(self, tmp_path):
+        src = _protocol_tree(tmp_path)  # bare registrations, no model.py
+        assert lint_paths([str(src)], rules=["ZL007"]) == []
+
+    def test_repository_registrations_all_traced(self):
+        assert lint_paths([str(REPO_SRC)], rules=["ZL007"]) == []
+
+
 class TestDriver:
     def test_syntax_error_reported_as_zl000(self):
         findings = lint_source("def broken(:\n")
@@ -254,7 +318,7 @@ class TestDriver:
 
     def test_rule_catalogue_is_complete(self):
         assert ALL_RULES == ("ZL001", "ZL002", "ZL003", "ZL004", "ZL005",
-                             "ZL006")
+                             "ZL006", "ZL007")
         assert all(RULE_DESCRIPTIONS[r] for r in ALL_RULES)
 
     def test_repository_source_tree_is_clean(self):

@@ -1,0 +1,119 @@
+"""Exporters, their validators, the report renderer and the CLI gate."""
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.export import (to_chrome_trace, to_prometheus_text,
+                              validate_chrome_trace,
+                              validate_prometheus_text)
+from repro.obs.report import render_report
+
+
+def _populated_hub():
+    tel = Telemetry(enabled=True)
+    tel.registry.counter("rpc_calls_total", "Calls.", verb="GS_wake").inc(3)
+    tel.registry.gauge("zombie_hosts", "Hosts in Sz.").set(2)
+    hist = tel.registry.histogram("rpc_call_seconds", "Latency.",
+                                  verb="GS_wake")
+    hist.observe(12e-6)
+    hist.observe(48e-6)
+    with tel.tracer.span("call.GS_wake", node="user") as outer:
+        with tel.tracer.span("serve.GS_wake", node="ctrl") as inner:
+            inner.span.end_s = inner.span.start_s + 10e-6
+        outer.span.end_s = outer.span.start_s + 40e-6
+    tel.tracer.sample("rack_power_watts", 420.0, track="HP", time_s=3600.0)
+    return tel
+
+
+class TestPrometheusExport:
+    def test_roundtrip_is_validator_clean(self):
+        tel = _populated_hub()
+        text = to_prometheus_text(tel.registry)
+        assert validate_prometheus_text(text) == []
+
+    def test_renders_types_series_and_buckets(self):
+        text = to_prometheus_text(_populated_hub().registry)
+        assert "# TYPE rpc_calls_total counter" in text
+        assert '# HELP zombie_hosts Hosts in Sz.' in text
+        assert 'rpc_calls_total{verb="GS_wake"} 3' in text
+        assert "zombie_hosts 2" in text
+        assert '# TYPE rpc_call_seconds histogram' in text
+        assert 'le="+Inf"} 2' in text
+        assert 'rpc_call_seconds_count{verb="GS_wake"} 2' in text
+
+    def test_validator_catches_regressions(self):
+        assert validate_prometheus_text("") == ["no samples at all"]
+        problems = validate_prometheus_text("rogue_metric 1\n")
+        assert any("no TYPE header" in p for p in problems)
+        problems = validate_prometheus_text(
+            "# TYPE x counter\nx{unterminated 1\n")
+        assert any("malformed sample" in p for p in problems)
+
+    def test_empty_registry_exports_empty(self):
+        tel = Telemetry(enabled=True)
+        assert to_prometheus_text(tel.registry) == ""
+
+
+class TestChromeTraceExport:
+    def test_roundtrip_is_validator_clean(self):
+        tel = _populated_hub()
+        text = to_chrome_trace(tel.tracer, tel.registry)
+        assert validate_chrome_trace(text) == []
+
+    def test_spans_and_samples_become_events(self):
+        tel = _populated_hub()
+        doc = json.loads(to_chrome_trace(tel.tracer, tel.registry))
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {e["name"] for e in complete} == {"call.GS_wake",
+                                                "serve.GS_wake"}
+        serve = next(e for e in complete if e["name"] == "serve.GS_wake")
+        call = next(e for e in complete if e["name"] == "call.GS_wake")
+        assert serve["args"]["parent_id"] == call["args"]["span_id"]
+        assert serve["pid"] == call["pid"]  # one pid per trace
+        assert serve["dur"] == pytest.approx(10.0)  # µs
+        (counter,) = counters
+        assert counter["name"] == "rack_power_watts"
+        assert counter["args"] == {"HP": 420.0}
+        assert counter["ts"] == 3600.0 * 1e6
+        # Node names become thread metadata so Perfetto labels lanes.
+        thread_names = [e["args"]["name"] for e in events
+                        if e["ph"] == "M"]
+        assert {"user", "ctrl"} <= set(thread_names)
+
+    def test_validator_catches_regressions(self):
+        assert validate_chrome_trace("{nope") == [
+            "not valid JSON: Expecting property name enclosed in double "
+            "quotes: line 1 column 2 (char 2)",
+        ] or validate_chrome_trace("{nope")[0].startswith("not valid JSON")
+        assert validate_chrome_trace('{"x": 1}') == ["missing traceEvents key"]
+        broken = json.dumps({"traceEvents": [
+            {"name": "a", "ph": "X", "pid": 1, "dur": 1.0, "args": {}},
+        ]})
+        assert any("no span_id" in p for p in validate_chrome_trace(broken))
+        dangling = json.dumps({"traceEvents": [
+            {"name": "a", "ph": "X", "pid": 1, "ts": 0, "dur": 1.0,
+             "args": {"span_id": 5, "parent_id": 99}},
+        ]})
+        assert any("dangling parent" in p
+                   for p in validate_chrome_trace(dangling))
+
+
+class TestReport:
+    def test_report_covers_every_section(self):
+        report = render_report(_populated_hub(), top_n=5)
+        assert "Per-verb RPC latency" in report
+        assert "GS_wake" in report
+        assert "Top 5 slowest spans" in report
+        assert "call.GS_wake" in report
+        assert "Sz residency" in report
+        assert "hosts in Sz now: 2" in report
+        assert "Registry census" in report
+        assert "timeline samples: 1" in report
+
+    def test_disabled_hub_renders_a_stub(self):
+        report = render_report(Telemetry(enabled=False))
+        assert "DISABLED" in report

@@ -1,0 +1,80 @@
+"""The ``python -m repro.obs`` gate: golden scenario, self-check, CLI."""
+
+import pytest
+
+from repro.check.model import RPC_ACTION_VERBS
+from repro.obs import Telemetry
+from repro.obs.__main__ import main as obs_main
+from repro.obs.selfcheck import run_golden_scenario, self_check
+from repro.obs.tracing import span_forest_errors
+
+
+@pytest.fixture(scope="module")
+def golden_rack():
+    return run_golden_scenario()
+
+
+class TestGoldenScenario:
+    def test_all_fifteen_verbs_complete_a_traced_call(self, golden_rack):
+        tel = golden_rack.telemetry
+        seen = {labels.get("verb") for labels
+                in tel.registry.labels_for("rpc_call_seconds")}
+        assert set(RPC_ACTION_VERBS) <= seen
+        assert len(RPC_ACTION_VERBS) == 15
+
+    def test_span_forest_is_connected(self, golden_rack):
+        tracer = golden_rack.telemetry.tracer
+        assert span_forest_errors(tracer.finished()) == []
+        assert tracer._stack == []
+
+    def test_non_rpc_layers_reach_the_same_hub(self, golden_rack):
+        registry = golden_rack.telemetry.registry
+
+        def total(name):
+            return sum(registry.value(name, **labels)
+                       for labels in registry.labels_for(name))
+
+        assert total("hv_page_faults_total") > 0
+        assert total("vm_migrations_total") >= 1
+        assert total("recovery_incidents_total") >= 1
+        assert total("dc_energy_joules_total") > 0
+        assert golden_rack.telemetry.tracer.samples  # energy timeline
+
+    def test_self_check_is_green(self):
+        assert self_check() == []
+
+
+class TestCli:
+    def test_self_check_flag_exits_zero(self, capsys):
+        assert obs_main(["--self-check"]) == 0
+        assert "self-check: ok" in capsys.readouterr().out
+
+    def test_report_and_exports(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        perf = tmp_path / "trace.json"
+        assert obs_main(["--prometheus", str(prom),
+                         "--perfetto", str(perf), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ZomTrace run report" in out
+        assert "Top 3 slowest spans" in out
+
+        from repro.obs.export import (validate_chrome_trace,
+                                      validate_prometheus_text)
+        assert validate_prometheus_text(prom.read_text()) == []
+        assert validate_chrome_trace(perf.read_text()) == []
+
+
+class TestQuickstartIntegration:
+    def test_quickstart_accepts_a_telemetry_hub(self):
+        import importlib.util
+        import pathlib
+        path = (pathlib.Path(__file__).resolve().parent.parent
+                / "examples" / "quickstart.py")
+        spec = importlib.util.spec_from_file_location("quickstart", path)
+        quickstart = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(quickstart)
+        tel = Telemetry(enabled=True)
+        rack = quickstart.main(telemetry=tel)
+        assert rack.telemetry is tel
+        assert tel.registry.labels_for("rpc_call_seconds")
+        assert span_forest_errors(tel.tracer.finished()) == []
