@@ -7,7 +7,10 @@ selection, controller allocation — so regressions in the simulator's own
 performance are visible.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -225,3 +228,60 @@ def test_frame_allocator_churn(benchmark):
         allocator.free_many(frames)
 
     benchmark(churn)
+
+
+# -- checked-in baseline -----------------------------------------------------
+#
+# Wall-clock numbers drift with the machine; the *simulated* costs and
+# operation counts of a fixed scripted scenario do not.  The baseline
+# below pins those MetricsRegistry values so a change that silently makes
+# the hot paths chattier (more RPCs, more faults) or slower in simulated
+# time fails here, machine-independently.  Refresh after an intentional
+# change with:  BENCH_REGEN=1 pytest benchmarks/bench_micro_ops.py
+
+BASELINE_PATH = Path(__file__).with_name("BENCH_micro_ops.json")
+#: Generous: real regressions worth catching are way past 25 %.
+BASELINE_TOLERANCE = 0.25
+_BASELINE_FAMILIES = ("rpc_calls_total", "rpc_served_total",
+                      "rpc_call_seconds_count", "rpc_call_seconds_sum",
+                      "hv_page_faults_total", "hv_evictions_total",
+                      "hv_fault_seconds_count", "hv_fault_seconds_sum")
+
+
+def _micro_ops_snapshot():
+    """Metric values of one fixed micro-op scenario (simulated units)."""
+    tel = Telemetry(enabled=True)
+    rack = Rack(["user", "zombie"], memory_bytes=256 * MiB,
+                buff_size=8 * MiB, rng_seed=0, telemetry=tel)
+    rack.make_zombie("zombie")
+    vm = rack.create_vm("user", VmSpec("vm", 64 * MiB), local_fraction=0.5)
+    hv = rack.server("user").hypervisor
+    for _ in range(2):
+        for ppn in range(vm.spec.total_pages):
+            hv.access(vm, ppn)
+    manager = rack.server("user").manager
+    store = manager.request_ext(16 * MiB)
+    manager.release_store(store)
+    manager.request_swap(8 * MiB)
+    rack.wake("zombie", reclaim_bytes=256 * MiB)
+    rack.destroy_vm("user", "vm")
+    return {key: value for key, value in tel.registry.snapshot().items()
+            if key.split("{", 1)[0] in _BASELINE_FAMILIES}
+
+
+def test_micro_ops_match_checked_in_baseline():
+    current = _micro_ops_snapshot()
+    if os.environ.get("BENCH_REGEN"):
+        BASELINE_PATH.write_text(json.dumps(current, indent=2,
+                                            sort_keys=True) + "\n")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    missing = sorted(set(baseline) - set(current))
+    assert not missing, f"baseline metrics no longer emitted: {missing}"
+    appeared = sorted(set(current) - set(baseline))
+    assert not appeared, (
+        f"new metrics not in the baseline (BENCH_REGEN=1 to accept): "
+        f"{appeared}")
+    off = {key: (want, current[key]) for key, want in baseline.items()
+           if abs(current[key] - want) >
+           BASELINE_TOLERANCE * max(abs(want), 1e-12)}
+    assert not off, f"micro-op costs drifted past ±25%: {off}"

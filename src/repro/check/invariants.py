@@ -34,10 +34,12 @@ DOUBLE_LEND = "double-lend"
 CPU_DEAD_DISPATCH = "cpu-dead-dispatch"
 FENCED_WRITE = "fenced-write"
 MIRROR_DIVERGENCE = "mirror-divergence"
+DUPLICATE_EXECUTION = "duplicate-execution"
 
 FINDING_KINDS = (USE_AFTER_RECLAIM, DOUBLE_FREE, LOST_BUFFER_ACCESS,
                  POWER_DOMAIN, EPOCH_REGRESSION, DOUBLE_LEND,
-                 CPU_DEAD_DISPATCH, FENCED_WRITE, MIRROR_DIVERGENCE)
+                 CPU_DEAD_DISPATCH, FENCED_WRITE, MIRROR_DIVERGENCE,
+                 DUPLICATE_EXECUTION)
 
 
 class ShadowState(enum.Enum):
@@ -196,6 +198,14 @@ INVARIANTS: Tuple[Invariant, ...] = (
         "primary and standby secondary agree on the buffer table whenever "
         "the mirror channel is quiescent",
         ("zomcheck",),
+    ),
+    Invariant(
+        "exactly-once-delivery",
+        (DUPLICATE_EXECUTION,),
+        "a re-delivered request (wire duplicate, or a retry after a lost "
+        "reply) never re-executes a dedup_required verb's handler, and "
+        "re-executing an idempotent verb converges to the same state",
+        ("memsan", "zomcheck"),
     ),
 )
 

@@ -69,7 +69,25 @@ RPC_ACTION_VERBS = (
 #: Seedable protocol bugs; ``ProtocolModel(bounds, mutant=...)`` explores
 #: the broken state machine and :mod:`repro.check.mutants` applies the
 #: matching concrete patch for counterexample replay.
-MUTANTS = ("skip-epoch-bump", "dispatch-in-sz", "double-lend")
+MUTANTS = ("skip-epoch-bump", "dispatch-in-sz", "double-lend", "no-dedup")
+
+#: Idempotency class per mutating verb-action kind, mirrored from
+#: :data:`repro.core.protocol.VERB_IDEMPOTENCY` (a literal, like
+#: ``RPC_ACTION_VERBS`` above; ``tests/test_check_model.py`` asserts the
+#: two stay in agreement).  Only kinds listed here get ``dup_``
+#: variants; read-only verbs re-execute for free and are deliberately
+#: absent.
+_DUP_CLASSES = {
+    "GS_goto_zombie": "dedup_required",
+    "GS_reclaim": "dedup_required",
+    "GS_alloc_ext": "dedup_required",
+    "GS_alloc_swap": "dedup_required",
+    "GS_release": "dedup_required",
+    "GS_transfer": "dedup_required",
+    "GS_wake": "idempotent",
+    "GS_report_failure": "idempotent",
+    "AS_resync": "idempotent",
+}
 
 S0 = "S0"
 SZ = "Sz"
@@ -543,8 +561,105 @@ class ProtocolModel:
             footprint=frozenset(), readonly=True,
             apply=lambda: (None, ()),
         ))
+        # lose_message: a request (or its reply *before* any execution)
+        # dropped on the wire.  Observationally a stutter — the client
+        # times out and retries, and the retry is the base action itself,
+        # which the explorer already interleaves.  A reply lost *after*
+        # execution is a re-delivery, which is exactly the dup_ variant.
+        acts.append(Action(
+            name="lose_message", kind="lose_message", verbs=(),
+            footprint=frozenset(), readonly=True,
+            apply=lambda: (None, ()),
+        ))
+        self._add_dup_actions(acts)
         acts.sort(key=lambda a: a.name)
         return acts
+
+    def _add_dup_actions(self, acts: List[Action]) -> None:
+        """Add a ``dup_`` variant per enabled mutating verb action.
+
+        ``dup_X`` models the same logical request delivered twice: a wire
+        duplicate, or a client retry after the first reply was lost.  For
+        ``dedup_required`` verbs the server's dedup table replays the
+        cached response, so the successor equals single delivery (under
+        the ``no-dedup`` mutant the handler re-executes instead, which is
+        itself the violation).  For ``idempotent`` verbs the handler
+        genuinely re-executes and the model asserts convergence.  Same
+        footprint as the base action, so POR independence is unchanged.
+        """
+        dups = []
+        for act in acts:
+            cls = _DUP_CLASSES.get(act.kind)
+            if cls is None:
+                continue
+            dups.append(Action(
+                name=f"dup_{act.name}", kind=f"dup_{act.kind}",
+                verbs=act.verbs, footprint=act.footprint,
+                apply=lambda act=act, cls=cls: self._dup(act, cls),
+            ))
+        acts.extend(dups)
+
+    def _redeliver_step(self, st: State, name: str):
+        """Apply the action named ``name`` (base form) to ``st`` again.
+
+        The second delivery bypasses the enabled-action guards, exactly
+        like a retransmission reaching a handler whose preconditions have
+        moved on; ``(None, ())`` means the handler refused it.
+        """
+        base, args = name, ()
+        if name.endswith(")"):
+            base, rest = name[:-1].split("(", 1)
+            args = tuple(int(a[1:]) - 1 for a in rest.split(","))
+        if base == "GS_goto_zombie":
+            return self._goto_zombie(st, args[0])
+        if base == "GS_wake":
+            return self._wake(st, args[0])
+        if base == "GS_reclaim":
+            return self._reclaim(st, args[0])
+        if base == "GS_alloc_ext":
+            return self._alloc(st, args[0], "ext")
+        if base == "GS_alloc_swap":
+            return self._alloc(st, args[0], "swap")
+        if base == "GS_release":
+            return self._release(st, args[0])
+        if base == "GS_transfer":
+            return self._transfer(st, args[0], args[1])
+        if base == "GS_report_failure":
+            return self._declare_lost(st, args[0])
+        if base == "AS_resync":
+            return self._resync_flush(st, args[0])
+        raise ValueError(f"no dup semantics for action {name!r}")
+
+    def _dup(self, act: Action, cls: str):
+        s1, v1 = act.apply()
+        if s1 is None:
+            return None, v1
+        if cls == "dedup_required":
+            if self.mutant != "no-dedup":
+                # Dedup table replays the cached response: the second
+                # delivery is absorbed, successor is single delivery.
+                return s1, v1
+            s2, v2 = self._redeliver_step(s1, act.name)
+            viol = Violation(
+                invariants.DUPLICATE_EXECUTION,
+                f"re-delivered {act.name} re-executed its handler: the "
+                "verb is dedup_required, so the duplicate must be "
+                "answered from the dedup table, never re-run",
+            )
+            if s2 is None:
+                return s1, v1 + (viol,)
+            return s2, v1 + v2 + (viol,)
+        # Idempotent verbs re-execute; re-execution must converge.
+        s2, v2 = self._redeliver_step(s1, act.name)
+        if s2 is None:
+            return s1, v1
+        if s2 != s1:
+            return s2, v1 + v2 + (Violation(
+                invariants.DUPLICATE_EXECUTION,
+                f"{act.name} is declared idempotent but re-delivery moved "
+                "the state again: re-execution did not converge",
+            ),)
+        return s2, v1 + v2
 
     def action_by_name(self, st: State, name: str) -> Optional[Action]:
         for action in self.enabled_actions(st):

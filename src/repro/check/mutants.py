@@ -8,7 +8,7 @@ replayed against the real system with the same bug compiled in
 :data:`repro.check.model.MUTANTS`; a test pins the two registries
 together.
 
-The three seeded bugs:
+The four seeded bugs:
 
 - ``skip-epoch-bump``   — :meth:`SecondaryController.promote` forgets to
   bump the fencing epoch, so a healed old primary is never fenced and
@@ -18,7 +18,11 @@ The three seeded bugs:
   suspended-server timeout are both dropped (``cpu-dead-dispatch``);
 - ``double-lend``       — the buffer database forgets the allocated
   filter, so the controller grants buffers whose previous lease is
-  still live (``double-lend``).
+  still live (``double-lend``);
+- ``no-dedup``          — the server's exactly-once dedup table goes
+  blind (lookups miss, stores vanish), so a re-delivered
+  ``dedup_required`` verb re-executes its handler
+  (``duplicate-execution``).
 """
 
 from __future__ import annotations
@@ -166,9 +170,32 @@ class DoubleLendMutant(Mutant):
         self._patch(BufferDatabase, "assign", assign)
 
 
+class NoDedupMutant(Mutant):
+    """The exactly-once dedup table goes blind.
+
+    Lookups always miss and stores are dropped, so a re-delivered
+    ``dedup_required`` request re-executes its handler — the
+    at-least-once bug ZomNet exists to rule out.
+    """
+
+    name = "no-dedup"
+
+    def _apply(self) -> None:
+        from repro.rdma.rpc import RpcServer
+
+        def _dedup_lookup(self, method, req_id):
+            return None  # bug: every re-delivery looks brand new
+
+        def _dedup_store(self, method, req_id, status, payload, epoch):
+            pass  # bug: nothing is ever remembered
+
+        self._patch(RpcServer, "_dedup_lookup", _dedup_lookup)
+        self._patch(RpcServer, "_dedup_store", _dedup_store)
+
+
 _REGISTRY: Dict[str, Type[Mutant]] = {
     cls.name: cls for cls in (SkipEpochBumpMutant, DispatchInSzMutant,
-                              DoubleLendMutant)
+                              DoubleLendMutant, NoDedupMutant)
 }
 
 if set(_REGISTRY) != set(MUTANTS):  # pragma: no cover - import-time guard

@@ -202,12 +202,62 @@ class TraceReplayer:
         host = self.bounds.host_names()[0]
         self._old_primary._emit("zombie_add", (host,))
 
+    # -- duplicate deliveries (dup_ model actions) -------------------------
+    def _dup_step(self, verb: str, base, *args) -> None:
+        """Run a base step with a scripted wire duplicate of ``verb``.
+
+        The fabric's injector re-delivers the verb's request once with
+        the same request id, exactly like the model's ``dup_`` action: a
+        clean build absorbs it via the dedup table (dedup_required) or
+        converges (idempotent); the ``no-dedup`` mutant re-executes.
+        """
+        from repro.rdma.fabric import DUPLICATE
+        injector = self._rack.fabric.message_faults
+        injector.script("*", "*", DUPLICATE, method=verb)
+        try:
+            base(*args)
+        finally:
+            # Drop the scripted fault if a defended refusal happened
+            # before the verb ever crossed the wire.
+            injector.clear("*", "*")
+
+    def _do_dup_GS_goto_zombie(self, host: str) -> None:
+        self._dup_step("GS_goto_zombie", self._do_GS_goto_zombie, host)
+
+    def _do_dup_GS_wake(self, host: str) -> None:
+        self._dup_step("GS_wake", self._do_GS_wake, host)
+
+    def _do_dup_GS_reclaim(self, host: str) -> None:
+        self._dup_step("GS_reclaim", self._do_GS_reclaim, host)
+
+    def _do_dup_GS_alloc_ext(self, user: str) -> None:
+        self._dup_step("GS_alloc_ext", self._do_GS_alloc_ext, user)
+
+    def _do_dup_GS_alloc_swap(self, user: str) -> None:
+        self._dup_step("GS_alloc_swap", self._do_GS_alloc_swap, user)
+
+    def _do_dup_GS_release(self, user: str) -> None:
+        self._dup_step("GS_release", self._do_GS_release, user)
+
+    def _do_dup_GS_transfer(self, src: str, dst: str) -> None:
+        self._dup_step("GS_transfer", self._do_GS_transfer, src, dst)
+
+    def _do_dup_GS_report_failure(self, failed: str) -> None:
+        self._dup_step("GS_report_failure", self._do_GS_report_failure,
+                       failed)
+
+    def _do_dup_AS_resync(self, host: str) -> None:
+        self._dup_step("AS_resync", self._do_AS_resync, host)
+
     # -- read-only probes: no concrete side effect worth modelling ---------
     def _do_GS_get_lru_zombie(self) -> None:
         self._rack.controller.gs_get_lru_zombie()
 
     def _do_heartbeat(self) -> None:
         pass
+
+    def _do_lose_message(self) -> None:
+        pass  # a dropped message is a client-side retry, i.e. a stutter
 
     # -- helpers -----------------------------------------------------------
     def _pop_store(self, user: str) -> object:

@@ -12,18 +12,20 @@ fabric.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.database import BufferDatabase
 from repro.core.events import EventKind, EventLog
 from repro.core.protocol import BufferDescriptor, BufferKind, Method
-from repro.errors import (AllocationError, ControllerError, FencingError,
-                          RpcError)
+from repro.errors import (AllocationError, CircuitOpenError, ControllerError,
+                          FencingError, RdmaError, RpcError, RpcTimeoutError)
 from repro.rdma.fabric import RdmaNode
 from repro.rdma.rpc import RpcClient, RpcServer
 from repro.units import DEFAULT_BUFF_SIZE, buffers_for
 
-MirrorFn = Callable[[str, tuple], None]
+#: ``(op, args, seq)`` — seq is the position in the primary's replicated-op
+#: log, making re-sends idempotent on the secondary.
+MirrorFn = Callable[[str, tuple, Optional[int]], None]
 
 
 class GlobalMemoryController:
@@ -42,6 +44,15 @@ class GlobalMemoryController:
         #: buffer_id → "ext" | "swap"; swap allocations are revocable.
         self.allocation_purpose: Dict[int, str] = {}
         self.mirror: Optional[MirrorFn] = None
+        #: Replicated-op log and sent watermark.  Every mirrored mutation
+        #: is appended here with its index as a sequence number; ops the
+        #: mirror channel could not deliver stay queued past the watermark
+        #: until a later pump retries them, so one lost mirror call can no
+        #: longer silently desynchronise the standby.
+        self._mirror_log: List[Tuple[str, tuple]] = []
+        self._mirror_sent = 0
+        #: Pump stalls: a transport fault left the suffix queued.
+        self.mirror_deferred = 0
         self.agent_clients: Dict[str, RpcClient] = {}
         self.rpc = RpcServer(node)
         self.events = EventLog()
@@ -67,32 +78,42 @@ class GlobalMemoryController:
         traced = self.rpc.traced
         register(Method.GS_GOTO_ZOMBIE.value,
                  traced(Method.GS_GOTO_ZOMBIE.value,
-                        self._guard(self.gs_goto_zombie)))
+                        self._guard(self.gs_goto_zombie),
+                        idempotency="dedup_required"))
         register(Method.GS_RECLAIM.value,
-                 traced(Method.GS_RECLAIM.value, self._guard(self.gs_reclaim)))
+                 traced(Method.GS_RECLAIM.value, self._guard(self.gs_reclaim),
+                        idempotency="dedup_required"))
         register(Method.GS_ALLOC_EXT.value,
                  traced(Method.GS_ALLOC_EXT.value,
-                        self._guard(self.gs_alloc_ext)))
+                        self._guard(self.gs_alloc_ext),
+                        idempotency="dedup_required"))
         register(Method.GS_ALLOC_SWAP.value,
                  traced(Method.GS_ALLOC_SWAP.value,
-                        self._guard(self.gs_alloc_swap)))
+                        self._guard(self.gs_alloc_swap),
+                        idempotency="dedup_required"))
         register(Method.GS_GET_LRU_ZOMBIE.value,
                  traced(Method.GS_GET_LRU_ZOMBIE.value,
-                        self._guard(self.gs_get_lru_zombie)))
+                        self._guard(self.gs_get_lru_zombie),
+                        idempotency="read_only"))
         register(Method.GS_RELEASE.value,
-                 traced(Method.GS_RELEASE.value, self._guard(self.gs_release)))
+                 traced(Method.GS_RELEASE.value, self._guard(self.gs_release),
+                        idempotency="dedup_required"))
         register(Method.GS_TRANSFER.value,
                  traced(Method.GS_TRANSFER.value,
-                        self._guard(self.gs_transfer)))
+                        self._guard(self.gs_transfer),
+                        idempotency="dedup_required"))
         register(Method.GS_WAKE.value,
-                 traced(Method.GS_WAKE.value, self._guard(self.gs_wake)))
+                 traced(Method.GS_WAKE.value, self._guard(self.gs_wake),
+                        idempotency="idempotent"))
         register(Method.GS_REPORT_FAILURE.value,
                  traced(Method.GS_REPORT_FAILURE.value,
-                        self._guard(self.gs_report_failure)))
+                        self._guard(self.gs_report_failure),
+                        idempotency="idempotent"))
         # Heartbeat stays unguarded: monitors may still probe a fenced
         # (deposed) controller without tripping FencingError.
         register(Method.HEARTBEAT.value,
-                 traced(Method.HEARTBEAT.value, self.heartbeat))
+                 traced(Method.HEARTBEAT.value, self.heartbeat,
+                        idempotency="read_only"))
 
     def _guard(self, handler):
         """Refuse to serve authority-bearing calls once deposed."""
@@ -133,11 +154,34 @@ class GlobalMemoryController:
 
     def _emit(self, op: str, args: tuple) -> None:
         if self.mirror is not None:
+            self._mirror_log.append((op, args))
+            self._pump_mirror()
+
+    @property
+    def mirror_lag(self) -> int:
+        """Mirrored ops queued but not yet acknowledged by the secondary."""
+        return len(self._mirror_log) - self._mirror_sent
+
+    def _pump_mirror(self) -> None:
+        """Deliver queued mirror ops in order, pausing on transport faults.
+
+        A timeout (or open breaker) leaves the watermark in place, so the
+        next mutation — or the next heartbeat the standby's watchdog sends
+        — retries the undelivered suffix.  Sequence numbers make the
+        re-send idempotent: a re-delivered op the secondary already
+        applied (e.g. its reply was the lost message) is skipped there.
+        """
+        while self._mirror_sent < len(self._mirror_log):
+            op, args = self._mirror_log[self._mirror_sent]
             try:
-                self.mirror(op, args)
+                self.mirror(op, args, self._mirror_sent)
             except FencingError:
                 self._mark_fenced()
                 raise
+            except (RpcTimeoutError, CircuitOpenError, RdmaError):
+                self.mirror_deferred += 1
+                return
+            self._mirror_sent += 1
 
     def _flush_journal(self, start: int) -> None:
         """Mirror every database mutation journaled since ``start``."""
@@ -147,6 +191,11 @@ class GlobalMemoryController:
     # -- RPC handlers -----------------------------------------------------
     def heartbeat(self) -> str:
         self.heartbeats_sent += 1
+        # Piggyback replication catch-up on the standby's liveness probe:
+        # if a quiet period follows a deferred mirror op, the probe —
+        # proof the standby is reachable again — drains the backlog.
+        if not self.fenced and self.mirror_lag:
+            self._pump_mirror()
         return "alive"
 
     def gs_report_failure(self, reporter: str, host: str) -> bool:

@@ -35,6 +35,48 @@ class Method(str, enum.Enum):
     HEARTBEAT = "heartbeat"
 
 
+# -- delivery semantics -------------------------------------------------------
+#: Idempotency classes every protocol verb declares at registration
+#: (``RpcServer.traced(verb, handler, idempotency=...)``).  The class
+#: decides what the server must do when the same logical request is
+#: delivered twice (duplicated on the wire, or retried after a lost
+#: reply):
+#:
+#: - ``read_only`` — no rack state is written; re-execution is free.
+#: - ``idempotent`` — re-execution converges to the same state (the
+#:   handler is a set-style operation); the server may re-run it.
+#: - ``dedup_required`` — re-execution allocates/moves/destroys state
+#:   (picks *different* buffers, carves *new* MRs, raises on repeat);
+#:   the server must replay the cached response instead of re-running.
+READ_ONLY = "read_only"
+IDEMPOTENT = "idempotent"
+DEDUP_REQUIRED = "dedup_required"
+
+IDEMPOTENCY_CLASSES = (READ_ONLY, IDEMPOTENT, DEDUP_REQUIRED)
+
+#: The idempotency class of every protocol verb.  Kept as a pure
+#: string-keyed dict literal so ZomLint's ZL008 rule can read it
+#: statically (the same technique as the model's RPC_ACTION_VERBS) and
+#: cross-check it against the registration sites and the verb contract.
+VERB_IDEMPOTENCY = {
+    "GS_goto_zombie": "dedup_required",
+    "GS_reclaim": "dedup_required",
+    "GS_alloc_ext": "dedup_required",
+    "GS_alloc_swap": "dedup_required",
+    "GS_get_lru_zombie": "read_only",
+    "GS_release": "dedup_required",
+    "GS_transfer": "dedup_required",
+    "GS_wake": "idempotent",
+    "US_reclaim": "idempotent",
+    "US_invalidate": "idempotent",
+    "AS_get_free_mem": "dedup_required",
+    "AS_resync": "idempotent",
+    "GS_report_failure": "idempotent",
+    "mirror_op": "dedup_required",
+    "heartbeat": "read_only",
+}
+
+
 class BufferKind(str, enum.Enum):
     """Who serves a buffer: a zombie (Sz) or an active (S0) server.
 

@@ -55,6 +55,10 @@ class Rack:
         self.buff_size = buff_size
         self.stripe = stripe
         self.rng = DeterministicRng(rng_seed)
+        # Arm the adversarial fabric with its own RNG stream so enabling
+        # probabilistic message faults never perturbs the draws of the
+        # retry policy or workloads (same fork discipline as below).
+        self.fabric.message_faults.bind_rng(self.rng.fork(2))
         #: One policy for request/response control traffic, retried under
         #: backoff, and one single-attempt policy for monitoring paths
         #: (heartbeats have their own period as the retry loop).

@@ -373,8 +373,15 @@ PARTITION = "partition"
 HEAL = "heal"
 CRASH = "crash"
 KILL_CONTROLLER = "kill-controller"
+#: Message-level faults (ZomNet): arm the fabric's per-message fault
+#: injector on a link (``host`` is the destination, ``src`` the source,
+#: ``"*"`` wildcards both) with a :class:`~repro.rdma.fabric.LinkFaults`
+#: plan, or disarm it again.
+MESSAGE_FAULTS = "message-faults"
+CLEAR_MESSAGE_FAULTS = "clear-message-faults"
 
-_KINDS = (PARTITION, HEAL, CRASH, KILL_CONTROLLER)
+_KINDS = (PARTITION, HEAL, CRASH, KILL_CONTROLLER,
+          MESSAGE_FAULTS, CLEAR_MESSAGE_FAULTS)
 
 
 @dataclass(frozen=True)
@@ -384,11 +391,28 @@ class FaultAction:
     at_s: float
     kind: str
     host: Optional[str] = None
+    #: Source node for message-level faults (``"*"`` = any sender).
+    src: str = "*"
+    #: The :class:`~repro.rdma.fabric.LinkFaults` plan a
+    #: ``message-faults`` action installs.
+    faults: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ConfigurationError(f"unknown fault kind {self.kind!r}")
-        if self.kind != KILL_CONTROLLER and not self.host:
+        if self.kind == MESSAGE_FAULTS:
+            if not self.host:
+                raise ConfigurationError(
+                    "message-faults action needs a destination host "
+                    "('*' for all)"
+                )
+            if self.faults is None:
+                raise ConfigurationError(
+                    "message-faults action needs a LinkFaults plan"
+                )
+        elif self.kind == CLEAR_MESSAGE_FAULTS:
+            pass  # host optional: None clears every link
+        elif self.kind != KILL_CONTROLLER and not self.host:
             raise ConfigurationError(f"{self.kind} action needs a host")
         if self.at_s < 0:
             raise ConfigurationError(f"fault scheduled in the past: {self.at_s}")
@@ -423,6 +447,14 @@ class FaultSchedule:
             rack.heal_server(action.host)
         elif action.kind == KILL_CONTROLLER:
             rack.kill_controller()
+        elif action.kind == MESSAGE_FAULTS:
+            rack.fabric.message_faults.set_link(action.src, action.host,
+                                                action.faults)
+        elif action.kind == CLEAR_MESSAGE_FAULTS:
+            if action.host is None:
+                rack.fabric.message_faults.clear()
+            else:
+                rack.fabric.message_faults.clear(action.src, action.host)
         self.applied.append(action)
 
     @classmethod

@@ -39,10 +39,17 @@ class SecondaryController:
         #: promotion it is the *new* primary's epoch, and mirror ops from
         #: the deposed primary are rejected with :class:`FencingError`.
         self.epoch = 1
+        #: Highest mirror-stream sequence number applied.  The primary
+        #: re-sends any suffix a transport fault left undelivered; ops at
+        #: or below this watermark were already applied (their replies
+        #: were the lost messages) and are skipped instead of re-executed.
+        self.mirror_applied_seq = -1
+        self.mirror_skips = 0
         self.rpc = RpcServer(node)
         self.rpc.register(Method.MIRROR_OP.value,
                           self.rpc.traced(Method.MIRROR_OP.value,
-                                          self.apply_mirror))
+                                          self.apply_mirror,
+                                          idempotency="dedup_required"))
         self.miss_threshold = miss_threshold
         self.consecutive_misses = 0
         self.heartbeats_ok = 0
@@ -55,12 +62,16 @@ class SecondaryController:
 
     # -- mirroring ---------------------------------------------------------
     def apply_mirror(self, op: str, args: tuple,
-                     epoch: Optional[int] = None) -> None:
+                     epoch: Optional[int] = None,
+                     seq: Optional[int] = None) -> None:
         """Apply one mirrored mutation from the primary.
 
         ``epoch`` (when carried, i.e. on the RPC path) fences the mirror
         stream: a deposed primary that heals and keeps mirroring is
         rejected instead of silently corrupting the standby state.
+        ``seq`` (also RPC-path) is the op's position in the primary's
+        replicated-op log; already-applied sequence numbers are skipped so
+        the primary's catch-up re-sends stay exactly-once.
         """
         if epoch is not None:
             if epoch < self.epoch:
@@ -69,6 +80,9 @@ class SecondaryController:
                     f"epoch {epoch} (current {self.epoch})"
                 )
             self.epoch = epoch
+        if seq is not None and seq <= self.mirror_applied_seq:
+            self.mirror_skips += 1
+            return
         if op == "zombie_add":
             self.zombie_hosts.add(args[0])
             self.known_hosts.add(args[0])
@@ -80,6 +94,8 @@ class SecondaryController:
             self.known_hosts.discard(args[0])
         else:
             self.db.apply(op, args)
+        if seq is not None:
+            self.mirror_applied_seq = seq
 
     def mirror_fn(self):
         """The callback to install as the primary's ``mirror``.
@@ -87,8 +103,9 @@ class SecondaryController:
         Returned as a closure over an RPC client so mirroring crosses the
         fabric like the real system (and fails if this node is down).
         """
-        def forward(op: str, args: tuple) -> None:
-            self.apply_mirror(op, args)
+        def forward(op: str, args: tuple,
+                    seq: Optional[int] = None) -> None:
+            self.apply_mirror(op, args, seq=seq)
         return forward
 
     def attach_rpc_mirror(self, client: RpcClient,
@@ -99,9 +116,11 @@ class SecondaryController:
         mirrored op with the emitting controller's fencing epoch so a
         deposed primary cannot keep writing after a failover.
         """
-        def forward(op: str, args: tuple) -> None:
+        def forward(op: str, args: tuple,
+                    seq: Optional[int] = None) -> None:
             epoch = epoch_fn() if epoch_fn is not None else None
-            client.call(Method.MIRROR_OP.value, op, args, epoch=epoch)
+            client.call(Method.MIRROR_OP.value, op, args, epoch=epoch,
+                        seq=seq)
         return forward
 
     # -- heartbeat monitoring -----------------------------------------------

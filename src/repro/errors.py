@@ -51,6 +51,11 @@ class CircuitOpenError(RpcError):
     """An RPC was rejected locally because the channel's breaker is open."""
 
 
+class DeadlineExceededError(RpcError):
+    """A request's propagated deadline budget expired before (or while)
+    the server could act on it; the work was fast-failed, not executed."""
+
+
 class MemoryError_(ReproError):
     """Base class for the memory subsystem (named to avoid shadowing builtins)."""
 

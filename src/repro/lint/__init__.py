@@ -14,6 +14,11 @@ ZL002     module-level ``random`` calls instead of ``repro.sim.rng``
 ZL003     protocol verbs without a dispatch handler or a PROTOCOL.md entry
 ZL004     float ``==``/``!=`` on simulated timestamps
 ZL005     ``RpcError`` swallowed without a raise, return, or event emission
+ZL006     drift between the ZomCheck model's verb contract and the dispatch
+          tables (either direction)
+ZL007     protocol verbs registered without a ``server.traced(...)`` wrapper
+ZL008     traced protocol verbs missing (or contradicting) their declared
+          idempotency class, and ``VERB_IDEMPOTENCY`` drift
 ========  ====================================================================
 
 Run it as ``python -m repro.lint src`` (exit status 1 on findings).

@@ -24,6 +24,8 @@ RULE_DESCRIPTIONS = {
              "action set (or vice versa)",
     "ZL007": "protocol-verb RPC handler registered without a "
              "server.traced(...) span wrapper",
+    "ZL008": "traced protocol verb missing its idempotency class "
+             "declaration (or VERB_IDEMPOTENCY drift)",
 }
 
 ALL_RULES = tuple(sorted(RULE_DESCRIPTIONS))
@@ -359,6 +361,171 @@ def check_traced_registrations(sources: Dict[Path, str]) -> List[Finding]:
     return findings
 
 
+def _str_tuple_literal(source: str, name: str) -> Optional[tuple]:
+    """``(strings, lineno)`` parsed from a module-level tuple literal.
+
+    Elements may be string constants or names bound to module-level
+    string constants (``READ_ONLY = "read_only"`` then
+    ``(READ_ONLY, ...)``) — the idiom ``core/protocol.py`` uses.
+    """
+    tree = ast.parse(source)
+    aliases = {
+        node.targets[0].id: node.value.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Assign)
+        and len(node.targets) == 1
+        and isinstance(node.targets[0], ast.Name)
+        and isinstance(node.value, ast.Constant)
+        and isinstance(node.value.value, str)
+    }
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == name
+                and isinstance(node.value, (ast.Tuple, ast.List))):
+            values = []
+            for elem in node.value.elts:
+                if (isinstance(elem, ast.Constant)
+                        and isinstance(elem.value, str)):
+                    values.append(elem.value)
+                elif isinstance(elem, ast.Name) and elem.id in aliases:
+                    values.append(aliases[elem.id])
+            return tuple(values), node.lineno
+    return None
+
+
+def _verb_idempotency_literal(source: str) -> Optional[tuple]:
+    """``(mapping, lineno)`` parsed from the ``VERB_IDEMPOTENCY`` literal.
+
+    Like :data:`RPC_ACTION_VERBS`, the delivery-semantics contract is a
+    pure dict literal precisely so this check can read it statically.
+    """
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "VERB_IDEMPOTENCY"
+                and isinstance(node.value, ast.Dict)):
+            mapping = {}
+            for key, value in zip(node.value.keys, node.value.values):
+                if (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    mapping[key.value] = value.value
+            return mapping, node.lineno
+    return None
+
+
+def check_idempotency_declarations(sources: Dict[Path, str]) -> List[Finding]:
+    """ZL008: the delivery-semantics contract must cover every verb.
+
+    Exactly-once dispatch hangs off :data:`VERB_IDEMPOTENCY` in
+    ``core/protocol.py``: the server's dedup table only guards verbs
+    declared ``dedup_required``, so an undeclared (or wrongly declared)
+    verb silently falls back to at-least-once delivery.  Three drifts
+    are flagged: the contract disagreeing with the model's
+    :data:`RPC_ACTION_VERBS` (either direction), a class name outside
+    :data:`IDEMPOTENCY_CLASSES`, and a ``traced(...)`` registration of a
+    contract verb whose ``idempotency=`` keyword is missing, dynamic, or
+    contradicts the contract.  Trees without a ``VERB_IDEMPOTENCY``
+    literal predate the contract and are exempt.
+    """
+    protocol_path = next(
+        (p for p in sorted(sources)
+         if p.parts[-2:] == ("core", "protocol.py")), None
+    )
+    if protocol_path is None:
+        return []  # not linting a tree that carries the protocol
+    parsed = _verb_idempotency_literal(sources[protocol_path])
+    if parsed is None:
+        return []  # tree carries no delivery-semantics contract
+    idempotency, lineno = parsed
+    findings: List[Finding] = []
+    classes = _str_tuple_literal(sources[protocol_path],
+                                 "IDEMPOTENCY_CLASSES")
+    if classes is None:
+        findings.append(Finding(
+            "ZL008", str(protocol_path), lineno,
+            "VERB_IDEMPOTENCY is declared but IDEMPOTENCY_CLASSES carries "
+            "no tuple literal; the class names cannot be validated"))
+        allowed = set(idempotency.values())
+    else:
+        allowed = set(classes[0])
+        for verb in sorted(idempotency):
+            if idempotency[verb] not in allowed:
+                findings.append(Finding(
+                    "ZL008", str(protocol_path), lineno,
+                    f"verb {verb!r} declares unknown idempotency class "
+                    f"{idempotency[verb]!r}; expected one of "
+                    f"{', '.join(sorted(allowed))}"))
+    model_path = next(
+        (p for p in sorted(sources)
+         if p.parts[-2:] == ("check", "model.py")), None
+    )
+    if model_path is not None:
+        parsed_verbs = _model_action_verbs(sources[model_path])
+        if parsed_verbs is not None:
+            model_verbs = set(parsed_verbs[0])
+            for verb in sorted(model_verbs - set(idempotency)):
+                findings.append(Finding(
+                    "ZL008", str(protocol_path), lineno,
+                    f"model action verb {verb!r} has no entry in "
+                    "VERB_IDEMPOTENCY — its delivery semantics are "
+                    "undeclared"))
+            for verb in sorted(set(idempotency) - model_verbs):
+                findings.append(Finding(
+                    "ZL008", str(protocol_path), lineno,
+                    f"VERB_IDEMPOTENCY declares {verb!r} which is absent "
+                    "from the model's RPC_ACTION_VERBS — the contract "
+                    "covers a verb nothing dispatches"))
+    verb_of_member = {member: verb for member, verb, _
+                      in _protocol_members(sources[protocol_path])}
+    for path, source in sorted(sources.items()):
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if _terminal_name(node.func) != "traced":
+                continue
+            member = _method_member(node.args[0])
+            if member is None:
+                continue  # plain-string fixture verbs are exempt
+            verb = verb_of_member.get(member)
+            if verb is None or verb not in idempotency:
+                continue
+            keyword = next((k for k in node.keywords
+                            if k.arg == "idempotency"), None)
+            if keyword is None:
+                findings.append(Finding(
+                    "ZL008", str(path), node.lineno,
+                    f"verb {verb!r} wrapped in traced(...) without an "
+                    "idempotency= declaration; delivery semantics must be "
+                    "stated at the registration site"))
+                continue
+            if (not isinstance(keyword.value, ast.Constant)
+                    or not isinstance(keyword.value.value, str)):
+                findings.append(Finding(
+                    "ZL008", str(path), node.lineno,
+                    f"verb {verb!r} declares a computed idempotency class; "
+                    "use a string literal so the contract stays statically "
+                    "checkable"))
+                continue
+            declared = keyword.value.value
+            if declared != idempotency[verb]:
+                findings.append(Finding(
+                    "ZL008", str(path), node.lineno,
+                    f"verb {verb!r} registered as {declared!r} but "
+                    f"VERB_IDEMPOTENCY declares {idempotency[verb]!r}; "
+                    "the registration contradicts the contract"))
+    return findings
+
+
 def _method_member(node: ast.AST) -> Optional[str]:
     """``Method.X.value`` → ``"X"`` (None for anything else)."""
     dotted = _dotted_name(node)
@@ -372,13 +539,15 @@ def _method_member(node: ast.AST) -> Optional[str]:
 
 def check_project(sources: Dict[Path, str],
                   rules: Optional[Sequence[str]] = None) -> List[Finding]:
-    """The project-wide rules: ZL003, ZL006 and ZL007."""
+    """The project-wide rules: ZL003, ZL006, ZL007 and ZL008."""
     active = set(rules or ALL_RULES)
     findings: List[Finding] = []
     if "ZL006" in active:
         findings.extend(check_model_drift(sources))
     if "ZL007" in active:
         findings.extend(check_traced_registrations(sources))
+    if "ZL008" in active:
+        findings.extend(check_idempotency_declarations(sources))
     if "ZL003" not in active:
         return findings
     protocol_path = next(

@@ -144,8 +144,12 @@ def run_failover_retry_scenario(telemetry: Optional[Telemetry] = None
         return inner(*args, **kwargs)
 
     rpc.unregister(verb)
+    # Safe under exactly-once dedup: the injected RpcTimeoutError is a
+    # retryable outcome, which the dedup table never caches, so each
+    # retry genuinely re-executes the flaky handler.
     rpc.register(Method.GS_GOTO_ZOMBIE.value,
-                 rpc.traced(Method.GS_GOTO_ZOMBIE.value, flaky))
+                 rpc.traced(Method.GS_GOTO_ZOMBIE.value, flaky,
+                            idempotency="dedup_required"))
     rack.make_zombie("h2")
 
     calls = tel.tracer.finished(f"call.{verb}")

@@ -15,15 +15,216 @@ nodes (unit tests, controllers modelled without a board) are always up.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.acpi.platform import ServerPlatform
-from repro.errors import RdmaError
+from repro.errors import ConfigurationError, RdmaError
 from repro.obs import Telemetry
 from repro.rdma.costs import RdmaCostModel
 from repro.rdma.verbs import (AccessFlags, MemoryRegion, ProtectionDomain,
                               QueuePair)
+
+#: Message-fault kinds the injector understands.  ``request_loss`` drops
+#: the request before the handler sees it; ``reply_loss`` drops the
+#: response after the handler ran (the at-least-once hazard);
+#: ``duplicate`` delivers the request twice; ``reorder`` retransmits the
+#: link's *previous* request ahead of the current one (a stale delayed
+#: copy, the classic network reordering surface).
+REQUEST_LOSS = "request_loss"
+REPLY_LOSS = "reply_loss"
+DUPLICATE = "duplicate"
+REORDER = "reorder"
+
+MESSAGE_FAULT_KINDS = (REQUEST_LOSS, REPLY_LOSS, DUPLICATE, REORDER)
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link fault probabilities plus deterministic added latency.
+
+    Each probability is drawn independently per message, so one delivery
+    can suffer several faults at once (a duplicated request whose reply
+    is then lost).  ``extra_latency_s`` is added to every round trip on
+    the link and is deducted from any propagated deadline budget.
+    """
+
+    request_loss: float = 0.0
+    reply_loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    extra_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for kind in MESSAGE_FAULT_KINDS:
+            p = getattr(self, kind)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(
+                    f"{kind} probability out of [0,1]: {p}"
+                )
+        if self.extra_latency_s < 0.0:
+            raise ConfigurationError(
+                f"negative extra_latency_s: {self.extra_latency_s}"
+            )
+
+    @property
+    def probabilistic(self) -> bool:
+        return any(getattr(self, kind) > 0.0
+                   for kind in MESSAGE_FAULT_KINDS)
+
+
+@dataclass
+class MessageFaultDecision:
+    """What the injector decided for one message on one link."""
+
+    drop_request: bool = False
+    drop_reply: bool = False
+    duplicate: bool = False
+    reorder: bool = False
+    extra_latency_s: float = 0.0
+
+    def kinds(self) -> List[str]:
+        out = []
+        if self.drop_request:
+            out.append(REQUEST_LOSS)
+        if self.drop_reply:
+            out.append(REPLY_LOSS)
+        if self.duplicate:
+            out.append(DUPLICATE)
+        if self.reorder:
+            out.append(REORDER)
+        return out
+
+
+_NO_FAULTS = MessageFaultDecision()
+
+
+class MessageFaultInjector:
+    """Seeded, deterministic per-message fault injection for the fabric.
+
+    Two modes compose:
+
+    - **probabilistic plans** (:meth:`set_link`): a :class:`LinkFaults`
+      spec per link, wildcards allowed, driven by a seeded
+      :class:`~repro.sim.rng.DeterministicRng`.  Every message draws a
+      *fixed* number of uniforms (one per fault kind) so the stream stays
+      aligned no matter which faults fire — same seed, same fault
+      placement, replayable.
+    - **scripted one-shots** (:meth:`script`): "drop exactly the next
+      ``GS_reclaim`` reply from ctr to h1" — consumed in FIFO order, at
+      most one per message, what the property tests and chaos replays
+      use for surgical placement.
+
+    Link lookup precedence: ``(src, dst)`` → ``("*", dst)`` →
+    ``(src, "*")`` → ``("*", "*")``.
+
+    The injector is **off** until a plan or script is installed
+    (``active`` is False and the RPC hot path pays a single attribute
+    read), and it never touches one-sided verbs: the paper's data plane
+    is DMA against pinned memory — the adversarial surface modelled here
+    is the message-based control plane.
+    """
+
+    def __init__(self, rng=None):
+        self.rng = rng
+        self.plans: Dict[Tuple[str, str], LinkFaults] = {}
+        #: FIFO of (kind, method-or-None) one-shots per link key.
+        self.scripted: Dict[Tuple[str, str], List[Tuple[str,
+                                                        Optional[str]]]] = {}
+        self.active = False
+        self.injected: Dict[str, int] = {k: 0 for k in MESSAGE_FAULT_KINDS}
+
+    def bind_rng(self, rng) -> None:
+        """Attach the seeded stream probabilistic plans draw from."""
+        self.rng = rng
+
+    # -- configuration ----------------------------------------------------
+    def set_link(self, src: str, dst: str, faults: LinkFaults) -> None:
+        """Install a probabilistic plan for one link (``"*"`` wildcards)."""
+        if faults.probabilistic and self.rng is None:
+            raise ConfigurationError(
+                "probabilistic message faults need a seeded rng "
+                "(call bind_rng first): unseeded faults are not replayable"
+            )
+        self.plans[(src, dst)] = faults
+        self._refresh_active()
+
+    def script(self, src: str, dst: str, kind: str,
+               method: Optional[str] = None) -> None:
+        """Queue a one-shot fault for the next matching message."""
+        if kind not in MESSAGE_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown message-fault kind {kind!r}; "
+                f"expected one of {MESSAGE_FAULT_KINDS}"
+            )
+        self.scripted.setdefault((src, dst), []).append((kind, method))
+        self._refresh_active()
+
+    def clear(self, src: Optional[str] = None,
+              dst: Optional[str] = None) -> None:
+        """Drop plans and scripts; with src/dst, only that link key."""
+        if src is None and dst is None:
+            self.plans.clear()
+            self.scripted.clear()
+        else:
+            self.plans.pop((src, dst), None)
+            self.scripted.pop((src, dst), None)
+        self._refresh_active()
+
+    def _refresh_active(self) -> None:
+        self.active = bool(self.plans) or any(self.scripted.values())
+
+    # -- the per-message decision -----------------------------------------
+    def _lookup_keys(self, src: str, dst: str):
+        return ((src, dst), ("*", dst), (src, "*"), ("*", "*"))
+
+    def decide(self, src: str, dst: str,
+               method: str) -> MessageFaultDecision:
+        """One message is about to cross ``src → dst``: what happens?"""
+        if not self.active:
+            return _NO_FAULTS
+        decision = None
+        for key in self._lookup_keys(src, dst):
+            queue = self.scripted.get(key)
+            if not queue:
+                continue
+            for index, (kind, wanted) in enumerate(queue):
+                if wanted is not None and wanted != method:
+                    continue
+                queue.pop(index)
+                decision = MessageFaultDecision()
+                field = {REQUEST_LOSS: "drop_request",
+                         REPLY_LOSS: "drop_reply",
+                         DUPLICATE: "duplicate",
+                         REORDER: "reorder"}[kind]
+                setattr(decision, field, True)
+                break
+            if decision is not None:
+                break
+        plan = None
+        for key in self._lookup_keys(src, dst):
+            plan = self.plans.get(key)
+            if plan is not None:
+                break
+        if plan is not None:
+            if decision is None:
+                decision = MessageFaultDecision()
+            if plan.probabilistic:
+                # Fixed draw count per message: the stream never skews.
+                draws = [self.rng.random() for _ in MESSAGE_FAULT_KINDS]
+                decision.drop_request |= draws[0] < plan.request_loss
+                decision.drop_reply |= draws[1] < plan.reply_loss
+                decision.duplicate |= draws[2] < plan.duplicate
+                decision.reorder |= draws[3] < plan.reorder
+            decision.extra_latency_s += plan.extra_latency_s
+        if decision is None:
+            self._refresh_active()
+            return _NO_FAULTS
+        for kind in decision.kinds():
+            self.injected[kind] += 1
+        self._refresh_active()
+        return decision
 
 
 @dataclass
@@ -173,6 +374,37 @@ class Fabric:
         #: instrumented code can always reach ``node.fabric.telemetry``;
         #: the default hub is disabled (no-op instruments, no spans).
         self.telemetry = telemetry or Telemetry(enabled=False)
+        #: Message-level adversary (off until a plan/script is installed).
+        self.message_faults = MessageFaultInjector()
+        #: Circuit breakers per *server* node name, so :meth:`heal` can
+        #: half-open them instead of leaving a healed host dark for the
+        #: rest of the cooldown.  Weak so forgotten channels die quietly.
+        self._breakers: Dict[str, "weakref.WeakSet"] = {}
+        #: Propagated deadline budgets, innermost last.  ``dispatch``
+        #: pushes the delivered budget around the handler so nested
+        #: downstream clients (controller → serving host) inherit the
+        #: shrunk remainder; single-threaded simulation makes a plain
+        #: stack exact.
+        self._deadlines: List[Optional[float]] = []
+
+    # -- deadline propagation ---------------------------------------------
+    def push_deadline(self, budget_s: Optional[float]) -> None:
+        self._deadlines.append(budget_s)
+
+    def pop_deadline(self) -> None:
+        if self._deadlines:
+            self._deadlines.pop()
+
+    def current_deadline(self) -> Optional[float]:
+        """The innermost propagated budget (None = unconstrained)."""
+        if not self._deadlines:
+            return None
+        return self._deadlines[-1]
+
+    # -- breaker registry --------------------------------------------------
+    def register_breaker(self, server_name: str, breaker) -> None:
+        """Track a channel's breaker under its server's node name."""
+        self._breakers.setdefault(server_name, weakref.WeakSet()).add(breaker)
 
     def add_node(self, name: str,
                  platform: Optional[ServerPlatform] = None) -> RdmaNode:
@@ -200,8 +432,16 @@ class Fabric:
         self.partitioned.add(name)
 
     def heal(self, name: str) -> None:
-        """Reconnect a partitioned node."""
+        """Reconnect a partitioned node.
+
+        Breakers that tripped against the node while it was dark are
+        nudged to HALF_OPEN: the next call is a live probe instead of a
+        fast failure, so a healed host is not stuck unreachable behind an
+        open breaker for the remainder of the cooldown.
+        """
         self.partitioned.discard(name)
+        for breaker in self._breakers.get(name, ()):
+            breaker.notify_healed()
 
     def require_reachable(self, name: str) -> None:
         if name in self.partitioned:

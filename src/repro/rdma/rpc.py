@@ -17,10 +17,13 @@ never a wall-clock sleep, so fault tests stay deterministic.
 from __future__ import annotations
 
 import enum
+import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.errors import (CircuitOpenError, FencingError, RpcError,
+from repro.errors import (CircuitOpenError, ConfigurationError,
+                          DeadlineExceededError, FencingError, RpcError,
                           RpcTimeoutError)
 from repro.obs.tracing import WIRE_CONTEXT_KEY
 from repro.rdma.fabric import RdmaNode
@@ -28,6 +31,26 @@ from repro.sim.rng import DeterministicRng
 
 Handler = Callable[..., Any]
 Clock = Callable[[], float]
+
+#: Metadata key carrying the logical request id ``(client_id, seq)``.
+#: Stamped once per *logical* call (not per attempt): every retry and
+#: every injected duplicate of that call presents the same id, which is
+#: what lets the server deduplicate re-deliveries of mutating verbs.
+REQUEST_ID_KEY = "__req_id__"
+
+#: Metadata key carrying the caller's remaining deadline budget in
+#: simulated seconds.  Servers fast-fail non-positive budgets and push
+#: the delivered budget onto the fabric's deadline stack so nested
+#: downstream RPCs inherit the shrunk remainder.
+DEADLINE_KEY = "__deadline__"
+
+#: Mirrors :data:`repro.core.protocol.DEDUP_REQUIRED` (kept as a local
+#: literal so the transport layer never imports the protocol layer).
+_DEDUP_REQUIRED = "dedup_required"
+
+#: Deterministic channel numbering (same construction order, same ids —
+#: the same trick the buffer-id counter uses).
+_client_ids = itertools.count(1)
 
 
 def is_retryable(exc: BaseException) -> bool:
@@ -105,6 +128,21 @@ class CircuitBreaker:
             self.state = BreakerState.OPEN
             self.opened_at = self.clock()
 
+    def notify_healed(self) -> None:
+        """The fabric healed this breaker's server: half-open immediately.
+
+        Without this, a healed host stays unreachable behind an open
+        breaker for the rest of the cooldown even though the link is
+        back.  Moving straight to ``HALF_OPEN`` turns the next call into
+        a live probe: success closes the breaker, failure re-opens it
+        for a fresh cooldown.  A no-op unless the breaker is ``OPEN``
+        (``allow`` skips its own half-open transition in that case, so
+        the probe is not double-counted).
+        """
+        if self.state is BreakerState.OPEN:
+            self.state = BreakerState.HALF_OPEN
+            self.half_opens += 1
+
 
 @dataclass
 class RetryStats:
@@ -173,12 +211,33 @@ class RetryPolicy:
 
 
 class RpcServer:
-    """A dispatch table served from one fabric node's daemon."""
+    """A dispatch table served from one fabric node's daemon.
+
+    Beyond dispatch, the server owns the *exactly-once* half of the RPC
+    plane: verbs registered through :meth:`traced` declare an idempotency
+    class, and for ``dedup_required`` verbs a bounded, epoch-aware dedup
+    table keyed by the client-stamped request id replays the cached
+    response instead of re-executing when the same logical request is
+    delivered again (wire duplicate, or a retry after a lost reply).
+    """
+
+    #: Upper bound on cached responses; oldest entries are evicted first.
+    dedup_capacity = 1024
 
     def __init__(self, node: RdmaNode):
         self.node = node
         self.handlers: Dict[str, Handler] = {}
         self.calls_served = 0
+        #: Idempotency class per verb, recorded by :meth:`traced`.
+        self.idempotency: Dict[str, str] = {}
+        #: ``(method, req_id) -> (status, payload, epoch)`` where status
+        #: is ``"ok"``/``"error"``.  Only *answered* requests live here;
+        #: retryable failures (timeouts) never produced a response, so
+        #: caching them would wrongly suppress the re-execution a retry
+        #: is asking for.
+        self._dedup: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._dedup_watermark = 0
+        self.dedup_replays = 0
 
     def register(self, method: str, handler: Handler) -> None:
         if method in self.handlers:
@@ -190,7 +249,8 @@ class RpcServer:
             raise RpcError(f"{self.node.name}: unknown RPC method {method!r}")
         del self.handlers[method]
 
-    def traced(self, verb: str, handler: Handler) -> Handler:
+    def traced(self, verb: str, handler: Handler,
+               idempotency: Optional[str] = None) -> Handler:
         """Wrap ``handler`` in a server-side ``serve.<verb>`` span.
 
         The span adopts the caller's propagated wire context as its
@@ -201,7 +261,33 @@ class RpcServer:
         an *outcome* worth seeing in a timeline, not just an exception).
         ZomLint rule ZL007 statically requires every protocol-verb
         registration to pass through this wrapper.
+
+        ``idempotency`` declares the verb's delivery-semantics class
+        (see :data:`repro.core.protocol.VERB_IDEMPOTENCY`); it must match
+        the protocol contract for protocol verbs (ZomLint rule ZL008
+        enforces this statically, this check enforces it at runtime),
+        and defaults to the contract's class when omitted.  Non-protocol
+        verbs (test fixtures) may omit it and stay unclassified, which
+        disables dedup for them.
         """
+        # Runtime import: the transport layer must not depend on the
+        # protocol layer at module scope.
+        from repro.core.protocol import IDEMPOTENCY_CLASSES, VERB_IDEMPOTENCY
+        declared = VERB_IDEMPOTENCY.get(verb)
+        if idempotency is None:
+            idempotency = declared
+        elif idempotency not in IDEMPOTENCY_CLASSES:
+            raise ConfigurationError(
+                f"{self.node.name}: verb {verb!r} declares unknown "
+                f"idempotency class {idempotency!r}"
+            )
+        elif declared is not None and idempotency != declared:
+            raise ConfigurationError(
+                f"{self.node.name}: verb {verb!r} declares idempotency "
+                f"{idempotency!r} but the protocol contract says {declared!r}"
+            )
+        if idempotency is not None:
+            self.idempotency[verb] = idempotency
         def serve(*args: Any, **kwargs: Any) -> Any:
             tel = self.node.fabric.telemetry
             if not tel.enabled:
@@ -223,15 +309,61 @@ class RpcServer:
         serve.__wrapped__ = handler  # type: ignore[attr-defined]
         return serve
 
+    def _dedup_lookup(self, method: str, req_id: tuple) -> Optional[tuple]:
+        """Cached ``(status, payload)`` for a request id, or ``None``."""
+        entry = self._dedup.get((method, req_id))
+        if entry is None:
+            return None
+        self._dedup.move_to_end((method, req_id))
+        return entry[:2]
+
+    def _dedup_store(self, method: str, req_id: tuple, status: str,
+                     payload: Any, epoch: Optional[int]) -> None:
+        """Remember a request's answered outcome; bounded LRU eviction."""
+        self._dedup[(method, req_id)] = (status, payload, epoch)
+        self._dedup.move_to_end((method, req_id))
+        while len(self._dedup) > self.dedup_capacity:
+            self._dedup.popitem(last=False)
+
+    def _dedup_advance_epoch(self, epoch: int) -> None:
+        """Purge entries stamped with a now-stale fencing epoch.
+
+        Once the rack has moved to epoch ``E``, a retry of an epoch
+        ``< E`` request would be fenced by the handler anyway — there is
+        no response left worth replaying, so the entries only waste
+        capacity.
+        """
+        if epoch <= self._dedup_watermark:
+            return
+        self._dedup_watermark = epoch
+        stale = [key for key, (_, _, entry_epoch) in self._dedup.items()
+                 if entry_epoch is not None and entry_epoch < epoch]
+        for key in stale:
+            del self._dedup[key]
+
     def dispatch(self, method: str, args: tuple, kwargs: dict) -> Any:
         """Server-side dispatch; requires a live CPU.
 
-        The transport strips the trace-context metadata key before the
-        handler sees the arguments (handlers keep their verb signatures)
-        and activates it as the tracer's wire context for the duration
-        of the handler, where :meth:`traced` wrappers pick it up.
+        The transport strips the metadata keys (trace context, request
+        id, deadline budget) before the handler sees the arguments —
+        handlers keep their verb signatures.  In order, dispatch then:
+
+        1. replays the cached response for a re-delivered
+           ``dedup_required`` request (exactly-once semantics);
+        2. fast-fails with :class:`~repro.errors.DeadlineExceededError`
+           if the delivered budget is already spent — the handler never
+           runs, so no state is mutated for work nobody is waiting on;
+        3. runs the handler with the trace context active and the
+           delivered budget pushed on the fabric's deadline stack, so
+           nested downstream RPCs inherit the shrunk remainder;
+        4. caches the outcome (result *or* non-retryable error) for
+           future duplicates of ``dedup_required`` requests.  Retryable
+           outcomes are never cached: no response formed, and the whole
+           point of the client's retry is to re-execute.
         """
         ctx = kwargs.pop(WIRE_CONTEXT_KEY, None)
+        req_id = kwargs.pop(REQUEST_ID_KEY, None)
+        budget = kwargs.pop(DEADLINE_KEY, None)
         if not self.node.cpu_alive:
             raise RpcTimeoutError(
                 f"{self.node.name}: server suspended, RPC daemon not running"
@@ -239,15 +371,59 @@ class RpcServer:
         handler = self.handlers.get(method)
         if handler is None:
             raise RpcError(f"{self.node.name}: unknown RPC method {method!r}")
-        self.calls_served += 1
         tel = self.node.fabric.telemetry
-        if not tel.enabled:
-            return handler(*args, **kwargs)
-        tel.tracer.push_wire_context(ctx)
+        epoch = kwargs.get("epoch")
+        epoch = epoch if isinstance(epoch, int) else None
+        dedup = (req_id is not None
+                 and self.idempotency.get(method) == _DEDUP_REQUIRED)
+        if dedup:
+            if epoch is not None:
+                self._dedup_advance_epoch(epoch)
+            hit = self._dedup_lookup(method, req_id)
+            if hit is not None:
+                self.dedup_replays += 1
+                if tel.enabled:
+                    tel.registry.counter(
+                        "rpc_dedup_replays_total",
+                        "Re-delivered requests answered from the dedup "
+                        "table instead of re-executed.",
+                        verb=method, node=self.node.name).inc()
+                status, payload = hit
+                if status == "error":
+                    raise payload
+                return payload
+        if budget is not None and budget <= 0.0:
+            if tel.enabled:
+                tel.registry.counter(
+                    "rpc_deadline_rejections_total",
+                    "Requests fast-failed because their propagated "
+                    "deadline budget was already spent.",
+                    verb=method, node=self.node.name).inc()
+            raise DeadlineExceededError(
+                f"{self.node.name}: RPC {method!r} arrived with "
+                f"{budget:.6f}s of deadline budget left; fast-failing"
+            )
+        self.calls_served += 1
+        fabric = self.node.fabric
+        if tel.enabled:
+            tel.tracer.push_wire_context(ctx)
+        fabric.push_deadline(budget)
         try:
-            return handler(*args, **kwargs)
+            result = handler(*args, **kwargs)
+        # Any outcome the handler produced *is* the response; cache it
+        # for dedup before letting it propagate.  Retryable faults mean
+        # no response formed, so they are deliberately not cached.
+        except Exception as exc:  # noqa: BLE001
+            if dedup and not is_retryable(exc):
+                self._dedup_store(method, req_id, "error", exc, epoch)
+            raise
         finally:
-            tel.tracer.pop_wire_context()
+            fabric.pop_deadline()
+            if tel.enabled:
+                tel.tracer.pop_wire_context()
+        if dedup:
+            self._dedup_store(method, req_id, "ok", result, epoch)
+        return result
 
 
 class RpcClient:
@@ -269,10 +445,21 @@ class RpcClient:
         self.breaker: Optional[CircuitBreaker] = (
             retry_policy.make_breaker() if retry_policy is not None else None
         )
+        if self.breaker is not None:
+            node.fabric.register_breaker(server.node.name, self.breaker)
         self.calls_made = 0
         self.polls = 0
         self.retries = 0
         self.time_spent_s = 0.0
+        #: Exactly-once bookkeeping: one request id per *logical* call,
+        #: shared by all its retries (and any injected duplicates).
+        self.client_id = f"{node.name}#{next(_client_ids)}"
+        self._seq = itertools.count(1)
+        self._req_id: Optional[tuple] = None
+        self._budget_left: Optional[float] = None
+        #: Last delivered request, kept so an injected *reorder* can
+        #: re-present it to the server as a stale retransmission.
+        self._last_request: Optional[tuple] = None
         self._qp = node.connect_qp(server.node.name)
 
     def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
@@ -343,14 +530,30 @@ class RpcClient:
 
     def _call_with_retries(self, method: str, args: tuple,
                            kwargs: dict) -> Tuple[Any, float]:
-        """The uninstrumented retry loop (single attempt without a policy)."""
+        """The uninstrumented retry loop (single attempt without a policy).
+
+        Each logical call gets one ``(client_id, seq)`` request id here —
+        all its retries present the same id, which is what the server's
+        dedup table keys on.  The effective deadline is the policy's
+        budget capped by any budget this call *inherited* (when it is a
+        nested RPC issued from inside a handler, the fabric's deadline
+        stack holds the remaining budget the parent request delivered).
+        """
         policy = self.retry_policy
+        inherited = self.node.fabric.current_deadline()
+        self._req_id = (self.client_id, next(self._seq))
         if policy is None:
+            self._budget_left = inherited
             return self._attempt(method, args, kwargs)
+        deadline = policy.deadline_s
+        if inherited is not None:
+            deadline = inherited if deadline is None else min(deadline,
+                                                              inherited)
         policy.stats.calls += 1
         spent = 0.0
         attempt = 0
         while True:
+            self._budget_left = None if deadline is None else deadline - spent
             if not self.breaker.allow():
                 raise CircuitOpenError(
                     f"RPC {method!r} to {self.server.node.name}: circuit "
@@ -372,8 +575,8 @@ class RpcClient:
                 spent += self.timeout_s
                 delay = policy.backoff_delay(attempt)
                 out_of_attempts = attempt >= policy.max_attempts
-                out_of_time = (policy.deadline_s is not None
-                               and spent + delay > policy.deadline_s)
+                out_of_time = (deadline is not None
+                               and spent + delay > deadline)
                 tripped = self.breaker.state is BreakerState.OPEN
                 if out_of_attempts or out_of_time or tripped:
                     if out_of_time:
@@ -415,9 +618,47 @@ class RpcClient:
             span.span.end_s = span.span.start_s + elapsed
             return result, elapsed
 
+    def _burn_timeout(self, method: str, reason: str) -> None:
+        """Poll fruitlessly for a full timeout, then raise (retryable)."""
+        costs = self.node.fabric.costs
+        wasted_polls = max(1, int(self.timeout_s / costs.poll_interval_s))
+        self.polls += wasted_polls
+        self.time_spent_s += self.timeout_s
+        raise RpcTimeoutError(
+            f"RPC {method!r} to {self.server.node.name} timed out after "
+            f"{self.timeout_s}s ({reason})"
+        )
+
+    def _redeliver(self, request: tuple) -> None:
+        """Deliver a duplicate/stale copy of a request to the server.
+
+        Nobody is polling for this copy's response — it is wire noise —
+        so whatever the server answers (including protocol errors and
+        fencing) is dropped on the floor.  Exactly-once semantics mean
+        the delivery itself must be harmless; MemSan's duplicate-
+        execution invariant checks that it was.
+        """
+        method, dup_args, dup_kwargs = request
+        try:
+            self.server.dispatch(method, dup_args, dict(dup_kwargs))
+        # The response to an unsolicited copy has no reader; any error
+        # it carries was already (or will be) delivered to the caller
+        # via the copy that is actually awaited.
+        except Exception:  # noqa: BLE001
+            pass
+
     def _attempt_inner(self, method: str, args: tuple,
                        kwargs: dict) -> Tuple[Any, float]:
-        """The wire-level request/poll round."""
+        """The wire-level request/poll round.
+
+        Consults the fabric's message-fault injector for this link: a
+        dropped request never reaches dispatch, a dropped reply executes
+        server-side but times out client-side, a duplicate delivers the
+        same request id twice, a reorder re-presents the *previous*
+        request first (a stale retransmission), and extra latency is
+        charged to the clock and deducted from the delivered deadline
+        budget.
+        """
         if not self.node.cpu_alive:
             raise RpcError(f"{self.node.name}: client CPU suspended")
         self.node.fabric.require_reachable(self.node.name)
@@ -428,15 +669,39 @@ class RpcClient:
                 or not self.server.node.cpu_alive):
             # The request lands in the server's receive ring, but no daemon
             # runs; the client polls until its deadline passes.
-            wasted_polls = max(1, int(self.timeout_s / costs.poll_interval_s))
-            self.polls += wasted_polls
-            self.time_spent_s += self.timeout_s
-            raise RpcTimeoutError(
-                f"RPC {method!r} to {self.server.node.name} timed out after "
-                f"{self.timeout_s}s (server suspended)"
-            )
-        result = self.server.dispatch(method, args, kwargs)
-        elapsed = costs.rpc_time()
+            self._burn_timeout(method, "server suspended")
+        injector = fabric.message_faults
+        decision = None
+        if injector.active:
+            decision = injector.decide(self.node.name,
+                                       self.server.node.name, method)
+            if decision.kinds() and fabric.telemetry.enabled:
+                for kind in decision.kinds():
+                    fabric.telemetry.registry.counter(
+                        "rpc_injected_faults_total",
+                        "Message faults injected by the adversarial fabric.",
+                        kind=kind).inc()
+        extra_latency = decision.extra_latency_s if decision else 0.0
+        # Stamp the exactly-once / deadline metadata (re-stamped per
+        # attempt: dispatch pops it, like the trace context above).
+        if self._req_id is not None:
+            kwargs[REQUEST_ID_KEY] = self._req_id
+        if self._budget_left is not None:
+            kwargs[DEADLINE_KEY] = self._budget_left - extra_latency
+        if decision is not None and decision.drop_request:
+            self._burn_timeout(method, "request lost")
+        if decision is not None and decision.reorder and self._last_request:
+            # The network delivers a stale retransmission of the previous
+            # request ahead of this one.
+            self._redeliver(self._last_request)
+        delivered = (method, args, dict(kwargs))
+        self._last_request = delivered
+        result = self.server.dispatch(method, args, dict(kwargs))
+        if decision is not None and decision.duplicate:
+            self._redeliver(delivered)
+        if decision is not None and decision.drop_reply:
+            self._burn_timeout(method, "reply lost")
+        elapsed = costs.rpc_time() + extra_latency
         # Model the polling loop: at least one poll observes completion.
         poll_count = max(1, int(elapsed / costs.poll_interval_s))
         self.polls += poll_count

@@ -30,13 +30,14 @@ from repro.check import invariants
 # ZomCheck model checker so the two tools can never disagree on what
 # "safe" means.  Re-exported here for backwards compatibility.
 from repro.check.invariants import (CPU_DEAD_DISPATCH, DOUBLE_FREE,
-                                    DOUBLE_LEND, EPOCH_REGRESSION,
-                                    LOST_BUFFER_ACCESS, POWER_DOMAIN,
-                                    USE_AFTER_RECLAIM, ShadowState)
+                                    DOUBLE_LEND, DUPLICATE_EXECUTION,
+                                    EPOCH_REGRESSION, LOST_BUFFER_ACCESS,
+                                    POWER_DOMAIN, USE_AFTER_RECLAIM,
+                                    ShadowState)
 
 FINDING_KINDS = (USE_AFTER_RECLAIM, DOUBLE_FREE, LOST_BUFFER_ACCESS,
                  POWER_DOMAIN, EPOCH_REGRESSION, DOUBLE_LEND,
-                 CPU_DEAD_DISPATCH)
+                 CPU_DEAD_DISPATCH, DUPLICATE_EXECUTION)
 
 
 @dataclass
@@ -88,6 +89,11 @@ class MemorySanitizer:
         #: its epochs at 1, but one server instance must only ever see a
         #: monotone sequence.
         self._epochs: "weakref.WeakKeyDictionary[Any, int]" = (
+            weakref.WeakKeyDictionary())
+        #: Per-RpcServer set of ``(method, req_id)`` pairs whose handler
+        #: genuinely *executed* (not replayed from the dedup table); a
+        #: second execution of a dedup_required pair is a finding.
+        self._executions: "weakref.WeakKeyDictionary[Any, Set[Tuple]]" = (
             weakref.WeakKeyDictionary())
         #: Every store that ever held a lease while installed (leak report).
         self._stores: "weakref.WeakSet[Any]" = weakref.WeakSet()
@@ -199,6 +205,32 @@ class MemorySanitizer:
             return
         self._epochs[server] = epoch
 
+    def _note_execution(self, server: Any, method: str, req_id: Any) -> None:
+        """A handler genuinely ran (not a dedup replay) for ``req_id``.
+
+        A second genuine execution of the same ``(method, req_id)`` on a
+        ``dedup_required`` verb is the at-least-once bug ZomNet's dedup
+        table exists to prevent: the re-delivered request should have
+        been answered from the cache.
+        """
+        if req_id is None:
+            return
+        if getattr(server, "idempotency", {}).get(method) != "dedup_required":
+            return
+        seen = self._executions.get(server)
+        if seen is None:
+            seen = set()
+            self._executions[server] = seen
+        key = (method, req_id)
+        if key in seen:
+            self._record(DUPLICATE_EXECUTION, (
+                f"server {server.node.name!r} re-executed dedup_required "
+                f"verb {method!r} for request id {req_id!r} — the "
+                f"re-delivered request must be answered from the dedup "
+                f"table, never re-run"))
+        else:
+            seen.add(key)
+
     # -- leak report ------------------------------------------------------
     def leak_report(self) -> List[LeakedStore]:
         """Stores still alive and holding leases (call after gc.collect())."""
@@ -279,7 +311,22 @@ class MemorySanitizer:
             return descriptor
 
         def dispatch(self, method, args, kwargs):
-            result = orig_dispatch(self, method, args, kwargs)
+            # Read the request id before the original pops the metadata.
+            from repro.rdma.rpc import REQUEST_ID_KEY, is_retryable
+            req_id = kwargs.get(REQUEST_ID_KEY)
+            served_before = self.calls_served
+            try:
+                result = orig_dispatch(self, method, args, kwargs)
+            # A handler that raised still *executed*; only retryable
+            # outcomes are exempt (no response formed — the client's
+            # retry is supposed to re-execute those).
+            except Exception as exc:  # noqa: BLE001
+                if (self.calls_served > served_before
+                        and not is_retryable(exc)):
+                    san._note_execution(self, method, req_id)
+                raise
+            if self.calls_served > served_before:
+                san._note_execution(self, method, req_id)
             san._check_dispatch(self, kwargs.get("epoch"))
             return result
 

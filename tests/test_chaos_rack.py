@@ -10,9 +10,11 @@ rack-wide, and healed hosts resynced — without operator help.
 import pytest
 
 from repro.core.rack import Rack
-from repro.core.recovery import (CRASH, HEAL, PARTITION, FaultAction,
+from repro.core.recovery import (CLEAR_MESSAGE_FAULTS, CRASH, HEAL,
+                                 MESSAGE_FAULTS, PARTITION, FaultAction,
                                  FaultSchedule)
 from repro.errors import ConfigurationError, RdmaError, RpcError
+from repro.rdma.fabric import DUPLICATE, LinkFaults
 from repro.hypervisor.vm import VmSpec
 from repro.sim.rng import DeterministicRng
 from repro.units import MiB
@@ -71,6 +73,34 @@ class TestFaultSchedule:
                                                       HEAL, HEAL]
         assert rack.fabric.is_reachable("z1")
         assert rack.fabric.is_reachable("z2")
+
+    def test_message_fault_actions_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultAction(1.0, MESSAGE_FAULTS, "z1")  # needs a plan
+        with pytest.raises(ConfigurationError):
+            FaultAction(1.0, MESSAGE_FAULTS,
+                        faults=LinkFaults(duplicate=1.0))  # needs a dest
+        FaultAction(1.0, CLEAR_MESSAGE_FAULTS)  # host optional: clears all
+
+    def test_scheduled_message_faults_arm_and_disarm_the_injector(self):
+        # Arm duplication on every link for a 10 s window; the scenario's
+        # writes inside the window cross the adversarial fabric, state
+        # stays sane (dedup absorbs re-deliveries), and after the clear
+        # action the injector is disarmed again.
+        rack, hv, vm = _chaos_rack()
+        _fill(hv, vm)
+        FaultSchedule([
+            FaultAction(5.0, MESSAGE_FAULTS, "*",
+                        faults=LinkFaults(duplicate=1.0)),
+            FaultAction(15.0, CLEAR_MESSAGE_FAULTS),
+        ]).install(rack)
+        rack.engine.schedule_at(10.0, lambda: rack.wake("z1"))
+        rack.engine.run(until=20.0)
+        injector = rack.fabric.message_faults
+        assert injector.injected[DUPLICATE] > 0
+        assert not injector.active
+        assert not rack.server("z1").is_zombie
+        _verify_all_pages(hv, vm)
 
     def test_randomized_schedule_is_replayable_and_healed(self):
         mk = lambda: FaultSchedule.randomized(

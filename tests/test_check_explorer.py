@@ -71,6 +71,7 @@ class TestSeededMutants:
         "skip-epoch-bump": "fenced-write",
         "dispatch-in-sz": "cpu-dead-dispatch",
         "double-lend": "double-lend",
+        "no-dedup": "duplicate-execution",
     }
 
     @pytest.mark.parametrize("mutant", MUTANTS)

@@ -123,6 +123,63 @@ class TestProtocolSemantics:
                                     "GS_alloc_ext(h9)") is None
 
 
+class TestDuplicateDelivery:
+    def test_dup_classes_mirror_the_protocol_contract(self):
+        # model._DUP_CLASSES is a literal copy of the non-read_only slice
+        # of core.protocol.VERB_IDEMPOTENCY, restricted to the verbs that
+        # name model actions.  This is the drift test that copy promises.
+        from repro.check.model import _DUP_CLASSES
+        from repro.core.protocol import READ_ONLY, VERB_IDEMPOTENCY
+
+        model = ProtocolModel(BOUNDS["tiny"])
+        action_kinds = {a.kind for a in
+                        model.enabled_actions(model.initial_state())}
+        # Every dup-classed kind is a protocol verb with the same class.
+        for kind, cls in _DUP_CLASSES.items():
+            assert VERB_IDEMPOTENCY.get(kind) == cls, kind
+        # No RPC-verb action kind with mutable semantics is missing.
+        for kind in action_kinds:
+            declared = VERB_IDEMPOTENCY.get(kind)
+            if declared is not None and declared != READ_ONLY:
+                assert kind in _DUP_CLASSES, kind
+
+    def test_dup_actions_are_enumerated(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        names = {a.name for a in
+                 model.enabled_actions(model.initial_state())}
+        assert "dup_GS_goto_zombie(h1)" in names
+        assert "lose_message" in names
+        # Read-only probes re-execute for free: no dup variant.
+        assert not any(n.startswith("dup_heartbeat") for n in names)
+
+    def test_dedup_absorbs_the_duplicate_on_the_clean_model(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        single = _walk(model, ["GS_goto_zombie(h1)"])
+        doubled = _walk(model, ["dup_GS_goto_zombie(h1)"])
+        assert doubled == single
+
+    def test_no_dedup_mutant_flags_duplicate_execution(self):
+        model = ProtocolModel(BOUNDS["tiny"], mutant="no-dedup")
+        state, violations = _step(model, model.initial_state(),
+                                  "dup_GS_goto_zombie(h1)")
+        assert any(v.kind == "duplicate-execution" for v in violations)
+
+    def test_idempotent_dup_converges_without_violation(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        base = _walk(model, ["GS_goto_zombie(h1)"])
+        single, _ = _step(model, base, "GS_wake(h1)")
+        doubled, violations = _step(model, base, "dup_GS_wake(h1)")
+        assert not violations
+        assert doubled == single
+
+    def test_lose_message_is_a_stutter(self):
+        model = ProtocolModel(BOUNDS["tiny"])
+        state = model.initial_state()
+        lost, violations = _step(model, state, "lose_message")
+        assert not violations
+        assert lost == state
+
+
 class TestMutantRegistry:
     def test_model_and_concrete_mutants_agree(self):
         from repro.check import mutants

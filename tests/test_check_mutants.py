@@ -31,6 +31,7 @@ EXPECTED_KIND = {
     "skip-epoch-bump": "fenced-write",
     "dispatch-in-sz": "cpu-dead-dispatch",
     "double-lend": "double-lend",
+    "no-dedup": "duplicate-execution",
 }
 
 

@@ -198,7 +198,7 @@ class TestMirroring:
     def test_mutations_forwarded(self):
         _, ctr, _ = _setup()
         mirrored = []
-        ctr.mirror = lambda op, args: mirrored.append(op)
+        ctr.mirror = lambda op, args, seq: mirrored.append(op)
         ctr.gs_goto_zombie("z1", _buffers("z1", 10, 1))
         ctr.gs_alloc_ext("a1", BUFF)
         assert "zombie_add" in mirrored

@@ -202,6 +202,41 @@ class TestMirroringAndFailover:
         assert set(new_ctr.agent_clients) == {"lender", "user"}
 
 
+class TestMirrorCatchUp:
+    def test_deferred_mirror_op_is_resent_not_lost(self):
+        # Lose the *reply* of one mirror op: the secondary applies it, the
+        # primary times out.  Before the sequenced mirror log, that op's
+        # journal suffix was silently skipped forever and the standby
+        # diverged; now the next emission re-sends it and the secondary
+        # skips the already-applied sequence number.
+        from repro.rdma.fabric import REPLY_LOSS
+        engine, fabric, ctr, sec, mgrs = _wired()
+        fabric.message_faults.script("ctr", "sec", REPLY_LOSS,
+                                     method=Method.MIRROR_OP.value)
+        mgrs["lender"].delegate_for_zombie()  # emits a stream of ops
+        assert ctr.mirror_deferred >= 1
+        assert sec.mirror_skips >= 1
+        assert ctr.mirror_lag == 0
+        assert len(sec.db) == len(ctr.db)
+        assert {b.buffer_id for b in sec.db.all_buffers()} == \
+            {b.buffer_id for b in ctr.db.all_buffers()}
+        assert sec.zombie_hosts == ctr.zombie_hosts
+
+    def test_partitioned_standby_queues_ops_and_catches_up(self):
+        engine, fabric, ctr, sec, mgrs = _wired()
+        fabric.partition("sec")
+        mgrs["lender"].delegate_for_zombie()  # must not fail the primary
+        assert ctr.mirror_lag > 0
+        assert len(sec.db) == 0
+        fabric.heal("sec")
+        # No further mutations: the standby's next heartbeat probe
+        # piggybacks the replication catch-up.
+        engine.run(until=1.5)
+        assert ctr.mirror_lag == 0
+        assert len(sec.db) == len(ctr.db)
+        assert sec.zombie_hosts == ctr.zombie_hosts
+
+
 class TestFencingEpochs:
     def test_stale_mirror_op_rejected(self):
         _, _, _, sec, _ = _wired()

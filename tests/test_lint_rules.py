@@ -311,6 +311,107 @@ class TestZL007TracedRegistrations:
         assert lint_paths([str(REPO_SRC)], rules=["ZL007"]) == []
 
 
+def _idem_tree(tmp_path, contract=None, registered=None, classes=True,
+               model_verbs=("GS_ping",)):
+    """A minimal tree carrying the delivery-semantics contract.
+
+    ``contract`` maps verb → class in ``VERB_IDEMPOTENCY``;
+    ``registered`` maps verb → the ``idempotency=`` argument source text
+    at the ``traced(...)`` site (None omits the keyword entirely).
+    """
+    contract = {"GS_ping": "read_only"} if contract is None else contract
+    registered = ({v: f'"{c}"' for v, c in contract.items()}
+                  if registered is None else registered)
+    core = tmp_path / "src" / "repro" / "core"
+    core.mkdir(parents=True)
+    lines = ["import enum\n", "\n", "class Method(str, enum.Enum):\n"]
+    lines += [f'    {v.upper()} = "{v}"\n'
+              for v in sorted(set(contract) | set(registered))]
+    if classes:
+        lines += ['\nIDEMPOTENCY_CLASSES = ("read_only", "idempotent", '
+                  '"dedup_required")\n']
+    lines += ["\nVERB_IDEMPOTENCY = {\n"]
+    lines += [f'    "{v}": "{c}",\n' for v, c in contract.items()]
+    lines += ["}\n"]
+    (core / "protocol.py").write_text("".join(lines))
+    registrations = []
+    for verb, arg in registered.items():
+        kw = "" if arg is None else f", idempotency={arg}"
+        registrations.append(
+            f"    rpc.register(Method.{verb.upper()}.value,\n"
+            f"                 rpc.traced(Method.{verb.upper()}.value, "
+            f"handler{kw}))\n")
+    (core / "wiring.py").write_text(
+        "from repro.core.protocol import Method\n\n"
+        "def wire(rpc, handler):\n" + "".join(registrations))
+    _model_file(tmp_path, model_verbs)
+    return tmp_path / "src"
+
+
+class TestZL008IdempotencyDeclarations:
+    def test_declared_registration_is_clean(self, tmp_path):
+        src = _idem_tree(tmp_path)
+        assert lint_paths([str(src)], rules=["ZL008"]) == []
+
+    def test_missing_keyword_flagged(self, tmp_path):
+        src = _idem_tree(tmp_path, registered={"GS_ping": None})
+        findings = lint_paths([str(src)], rules=["ZL008"])
+        assert _rules(findings) == ["ZL008"]
+        assert "without an idempotency=" in findings[0].message
+
+    def test_contradicting_class_flagged(self, tmp_path):
+        src = _idem_tree(tmp_path, registered={"GS_ping": '"idempotent"'})
+        findings = lint_paths([str(src)], rules=["ZL008"])
+        assert _rules(findings) == ["ZL008"]
+        assert "contradicts the contract" in findings[0].message
+
+    def test_computed_class_flagged(self, tmp_path):
+        src = _idem_tree(tmp_path, registered={"GS_ping": "some_variable"})
+        findings = lint_paths([str(src)], rules=["ZL008"])
+        assert _rules(findings) == ["ZL008"]
+        assert "computed idempotency class" in findings[0].message
+
+    def test_unknown_class_name_flagged(self, tmp_path):
+        src = _idem_tree(tmp_path, contract={"GS_ping": "best_effort"})
+        findings = lint_paths([str(src)], rules=["ZL008"])
+        rules = _rules(findings)
+        assert "ZL008" in rules
+        assert any("unknown idempotency class" in f.message
+                   for f in findings)
+
+    def test_undeclared_model_verb_flagged(self, tmp_path):
+        src = _idem_tree(tmp_path, model_verbs=("GS_ping", "GS_pong"))
+        findings = lint_paths([str(src)], rules=["ZL008"])
+        assert _rules(findings) == ["ZL008"]
+        assert "GS_pong" in findings[0].message
+        assert "undeclared" in findings[0].message
+
+    def test_contract_verb_outside_model_flagged(self, tmp_path):
+        src = _idem_tree(
+            tmp_path,
+            contract={"GS_ping": "read_only", "GS_ghost": "idempotent"},
+            registered={"GS_ping": '"read_only"'})
+        findings = lint_paths([str(src)], rules=["ZL008"])
+        assert _rules(findings) == ["ZL008"]
+        assert "GS_ghost" in findings[0].message
+        assert "nothing dispatches" in findings[0].message
+
+    def test_missing_classes_tuple_flagged(self, tmp_path):
+        src = _idem_tree(tmp_path, classes=False)
+        findings = lint_paths([str(src)], rules=["ZL008"])
+        assert _rules(findings) == ["ZL008"]
+        assert "IDEMPOTENCY_CLASSES" in findings[0].message
+
+    def test_tree_without_contract_is_exempt(self, tmp_path):
+        # Pre-contract trees (like every other rule's fixtures) carry no
+        # VERB_IDEMPOTENCY literal and must stay clean.
+        src = _protocol_tree(tmp_path, traced=True)
+        assert lint_paths([str(src)], rules=["ZL008"]) == []
+
+    def test_repository_contract_and_registrations_agree(self):
+        assert lint_paths([str(REPO_SRC)], rules=["ZL008"]) == []
+
+
 class TestDriver:
     def test_syntax_error_reported_as_zl000(self):
         findings = lint_source("def broken(:\n")
@@ -318,7 +419,7 @@ class TestDriver:
 
     def test_rule_catalogue_is_complete(self):
         assert ALL_RULES == ("ZL001", "ZL002", "ZL003", "ZL004", "ZL005",
-                             "ZL006", "ZL007")
+                             "ZL006", "ZL007", "ZL008")
         assert all(RULE_DESCRIPTIONS[r] for r in ALL_RULES)
 
     def test_repository_source_tree_is_clean(self):

@@ -146,6 +146,47 @@ class TestCircuitBreaker:
         assert client.breaker.half_opens == 1
         assert client.breaker.closes == 1
 
+    def test_heal_half_opens_without_waiting_out_cooldown(self):
+        # Fabric.heal() is positive evidence the channel is back; the
+        # breaker moves OPEN → HALF_OPEN immediately so the next call is
+        # a probe, instead of fast-failing for the rest of the cooldown.
+        engine = Engine()
+        policy = RetryPolicy.no_retry(clock=lambda: engine.now,
+                                      failure_threshold=2, cooldown_s=500.0)
+        fabric, server, client = _channel(policy)
+        server.register("ping", lambda: "pong")
+        fabric.partition("server")
+        for _ in range(2):
+            with pytest.raises(RpcTimeoutError):
+                client.call("ping")
+        assert client.breaker.state is BreakerState.OPEN
+
+        fabric.heal("server")  # no sim time passes at all
+        assert client.breaker.state is BreakerState.HALF_OPEN
+        assert client.call("ping") == "pong"
+        assert client.breaker.state is BreakerState.CLOSED
+        assert client.breaker.half_opens == 1
+        assert client.breaker.closes == 1
+
+    def test_heal_leaves_closed_and_half_open_breakers_alone(self):
+        engine = Engine()
+        policy = RetryPolicy.no_retry(clock=lambda: engine.now,
+                                      failure_threshold=2, cooldown_s=5.0)
+        fabric, server, client = _channel(policy)
+        assert client.breaker.state is BreakerState.CLOSED
+        fabric.heal("server")  # healing an unbroken channel: no-op
+        assert client.breaker.state is BreakerState.CLOSED
+        assert client.breaker.half_opens == 0
+
+        fabric.partition("server")
+        for _ in range(2):
+            with pytest.raises(RpcTimeoutError):
+                client.call("x")
+        fabric.heal("server")
+        fabric.heal("server")  # second heal must not double-count
+        assert client.breaker.state is BreakerState.HALF_OPEN
+        assert client.breaker.half_opens == 1
+
     def test_half_open_probe_failure_reopens(self):
         engine = Engine()
         policy = RetryPolicy.no_retry(clock=lambda: engine.now,
