@@ -143,7 +143,35 @@ def generate_report(quick: bool = True,
              for machine, row in per_machine.items()],
         )
 
+    lines += _audit_section(seed=seed)
+
     return "\n".join(lines) + "\n"
+
+
+def _audit_section(seed: int) -> List[str]:
+    """The ZomAudit scorecard for the golden fleet scenario."""
+    from repro.obs.audit import run_golden_audit
+
+    report = run_golden_audit(seed=seed)
+    lines = ["## Fleet energy audit (ZomAudit)", "",
+             f"Golden fleet scenario, seed {seed}: policy "
+             f"`{report.policy}` vs `{report.baseline_policy}` on the "
+             f"{report.profile} profile.  Overall grade: "
+             f"**{report.overall_grade}** (GPA {report.overall_points:.2f}).",
+             ""]
+    lines += _md_table(
+        ["dimension", "grade", "score", "value", "unit"],
+        [(dim.title, dim.grade, dim.score, dim.value, dim.unit)
+         for dim in report.dimensions if dim.available],
+    )
+    if report.recommendations:
+        lines.append("### Ranked recommendations")
+        lines += _md_table(
+            ["#", "action", "impact (J/hour)", "why"],
+            [(rank, rec.action, rec.impact_j_per_hour, rec.rationale)
+             for rank, rec in enumerate(report.recommendations, start=1)],
+        )
+    return lines
 
 
 def write_report(path: str, quick: bool = True, seed: int = 42) -> str:

@@ -393,6 +393,9 @@ class RemoteMemoryManager:
     def _build_store(self, descriptors: List[BufferDescriptor]
                      ) -> RemotePageStore:
         store = RemotePageStore(self.node)
+        telemetry = self.node.fabric.telemetry
+        if telemetry.enabled:
+            store.attach_metrics(telemetry.registry, user=self.host)
         for descriptor in descriptors:
             store.add_lease(self._lease_from(descriptor))
             self._stores_by_buffer[descriptor.buffer_id] = store

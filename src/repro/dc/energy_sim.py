@@ -181,6 +181,16 @@ def simulate_energy(tasks: List[Task], n_servers: int,
     baseline_joules = 0.0
     active_sum = 0.0
     zombie_sum = 0.0
+    memory_sum = 0.0
+    suspended_sum = 0.0
+    # ZomAudit integrals: the ideal energy-proportional demand energy
+    # (zPUE denominator), served memory, and the cold remote-memory
+    # demand vs. what the zombie pool actually covered.
+    ideal_joules = 0.0
+    mem_used_server_s = 0.0
+    remote_server_s = 0.0
+    zombie_served_server_s = 0.0
+    slot_seconds = 0.0
     for slot in slots:
         plan = plan_fn(slot, n_servers)
         watts = _slot_power(plan, profile)
@@ -189,6 +199,16 @@ def simulate_energy(tasks: List[Task], n_servers: int,
         baseline_joules += _slot_power(baseline, profile) * slot.duration_s
         active_sum += plan.active
         zombie_sum += plan.zombies
+        memory_sum += plan.memory_servers
+        suspended_sum += plan.suspended
+        ideal_joules += (slot.cpu_used * profile.max_power_watts
+                         * slot.duration_s)
+        mem_used_server_s += slot.mem_used * slot.duration_s
+        remote = max(0.0, slot.mem_used - plan.active * MEM_CEILING)
+        served = min(remote, plan.zombies * ZOMBIE_MEM_SERVED)
+        remote_server_s += remote * slot.duration_s
+        zombie_served_server_s += served * slot.duration_s
+        slot_seconds += slot.duration_s
         if obs:
             power_hist.observe(watts)
             telemetry.tracer.sample(f"rack_power_watts.{policy}", watts,
@@ -202,12 +222,41 @@ def simulate_energy(tasks: List[Task], n_servers: int,
         mean_zombies=zombie_sum / n,
     )
     if obs:
-        telemetry.registry.counter(
+        labels = dict(policy=policy, profile=profile.name)
+        registry = telemetry.registry
+        registry.counter(
             "dc_energy_joules_total", "Integrated rack energy by policy.",
-            policy=policy, profile=profile.name).inc(joules)
-        telemetry.registry.gauge(
+            **labels).inc(joules)
+        registry.gauge(
             "dc_energy_saving_pct", "Energy saving vs. baseline.",
-            policy=policy, profile=profile.name).set(result.saving_pct)
+            **labels).set(result.saving_pct)
+        registry.counter(
+            "dc_ideal_joules_total",
+            "Ideal energy-proportional demand energy (zPUE denominator).",
+            **labels).inc(ideal_joules)
+        registry.counter(
+            "dc_mem_used_server_seconds_total",
+            "Served memory demand, in normalized server-seconds.",
+            **labels).inc(mem_used_server_s)
+        registry.counter(
+            "dc_remote_mem_server_seconds_total",
+            "Cold memory demand beyond active-host capacity.",
+            **labels).inc(remote_server_s)
+        registry.counter(
+            "dc_zombie_served_server_seconds_total",
+            "Cold memory demand served from the zombie pool.",
+            **labels).inc(zombie_served_server_s)
+        registry.counter(
+            "dc_demand_slot_seconds_total",
+            "Total simulated time across demand slots.",
+            **labels).inc(slot_seconds)
+        for role, mean in (("active", active_sum / n),
+                           ("zombie", zombie_sum / n),
+                           ("memory", memory_sum / n),
+                           ("suspended", suspended_sum / n)):
+            registry.gauge(
+                "dc_mean_servers", "Mean servers per role over the trace.",
+                role=role, **labels).set(mean)
     return result
 
 

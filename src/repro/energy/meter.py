@@ -21,6 +21,24 @@ class EnergyMeter:
         self._power = power_watts
         self._joules = 0.0
         self.segments: List[Tuple[float, float, float]] = []  # (t0, t1, W)
+        self._joules_counter = None
+        self._power_gauge = None
+
+    def attach_metrics(self, registry, **labels) -> None:
+        """Bridge this meter into a :class:`MetricsRegistry`.
+
+        Every integrated segment lands on the
+        ``host_energy_joules_total`` counter and the current power level
+        on the ``host_power_watts`` gauge (labelled as given), so the
+        per-host energy trail reaches the exporters and the ZomAudit
+        analyzers without the audit touching live meters.
+        """
+        self._joules_counter = registry.counter(
+            "host_energy_joules_total",
+            "Energy integrated by this host's meter.", **labels)
+        self._power_gauge = registry.gauge(
+            "host_power_watts", "Current metered power level.", **labels)
+        self._power_gauge.set(self._power)
 
     @property
     def power_watts(self) -> float:
@@ -40,6 +58,8 @@ class EnergyMeter:
         """Report that power changed to ``power_watts`` at time ``now``."""
         self.advance(now)
         self._power = power_watts
+        if self._power_gauge is not None:
+            self._power_gauge.set(power_watts)
 
     def advance(self, now: float) -> None:
         """Integrate the current power level up to ``now``."""
@@ -48,7 +68,10 @@ class EnergyMeter:
                 f"meter time went backwards: {now} < {self._last_time}"
             )
         if now > self._last_time:
-            self._joules += self._power * (now - self._last_time)
+            delta = self._power * (now - self._last_time)
+            self._joules += delta
+            if self._joules_counter is not None:
+                self._joules_counter.inc(delta)
             self.segments.append((self._last_time, now, self._power))
             self._last_time = now
 
@@ -57,6 +80,8 @@ class EnergyMeter:
         if duration_s < 0:
             raise SimulationError(f"negative duration {duration_s}")
         self._joules += power_watts * duration_s
+        if self._joules_counter is not None:
+            self._joules_counter.inc(power_watts * duration_s)
         end = self._last_time + duration_s
         self.segments.append((self._last_time, end, power_watts))
         self._last_time = end

@@ -22,8 +22,10 @@ RULE_DESCRIPTIONS = {
     "ZL005": "RpcError swallowed without raise, return, or event emission",
     "ZL006": "registered RPC handler missing from the ZomCheck model "
              "action set (or vice versa)",
-    "ZL007": "protocol-verb RPC handler registered without a "
-             "server.traced(...) span wrapper",
+    "ZL007": "instrumentation dropped from the observability contract: a "
+             "protocol-verb RPC handler registered without a "
+             "server.traced(...) span wrapper, or a fleet-audit metric "
+             "no longer registered by its owning module",
     "ZL008": "traced protocol verb missing its idempotency class "
              "declaration (or VERB_IDEMPOTENCY drift)",
 }
@@ -361,6 +363,60 @@ def check_traced_registrations(sources: Dict[Path, str]) -> List[Finding]:
     return findings
 
 
+#: The fleet-audit metric contract (ZL007's second leg): metric-name
+#: literals each module must register via ``registry.gauge("...")`` /
+#: ``.counter("...")`` calls.  ZomAudit's scored dimensions read these
+#: series from registry snapshots, so a deleted registration silently
+#: turns a graded dimension into "not measurable" — exactly the ad-hoc
+#: invisibility the audit layer was built to end.
+_AUDIT_METRIC_CONTRACT = (
+    (("energy", "rack_monitor.py"),
+     ("host_memory_bytes", "stranded_bytes",
+      "zombie_pool_bytes", "zombie_pool_free_bytes")),
+    (("energy", "meter.py"),
+     ("host_energy_joules_total", "host_power_watts")),
+    (("memory", "buffers.py"),
+     ("page_store_fallback_pages", "page_store_ops_total")),
+)
+
+
+def check_audit_metric_registrations(sources: Dict[Path, str]
+                                     ) -> List[Finding]:
+    """ZL007 (audit leg): the fleet-audit metrics must stay registered.
+
+    Statically scans each contract module for instrument-factory calls
+    (``.gauge(...)``, ``.counter(...)``, ``.histogram(...)``) whose first
+    argument is the required name literal.  Renaming or deleting one of
+    these registrations breaks the ZomAudit dimension that reads it; the
+    golden-audit self-check would catch it at runtime, but this fails at
+    lint time with a pointer to the module that owns the series.
+    """
+    findings: List[Finding] = []
+    for tail, required in _AUDIT_METRIC_CONTRACT:
+        path = next((p for p in sorted(sources)
+                     if p.parts[-len(tail):] == tail), None)
+        if path is None:
+            continue
+        registered = set()
+        for node in ast.walk(ast.parse(sources[path])):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("gauge", "counter", "histogram")
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                registered.add(node.args[0].value)
+        for name in required:
+            if name not in registered:
+                findings.append(Finding(
+                    "ZL007", str(path), 1,
+                    f"fleet-audit metric {name!r} is no longer registered "
+                    "in this module; the ZomAudit dimensions that read it "
+                    "would silently go unmeasurable"
+                ))
+    return findings
+
+
 def _str_tuple_literal(source: str, name: str) -> Optional[tuple]:
     """``(strings, lineno)`` parsed from a module-level tuple literal.
 
@@ -546,6 +602,7 @@ def check_project(sources: Dict[Path, str],
         findings.extend(check_model_drift(sources))
     if "ZL007" in active:
         findings.extend(check_traced_registrations(sources))
+        findings.extend(check_audit_metric_registrations(sources))
     if "ZL008" in active:
         findings.extend(check_idempotency_declarations(sources))
     if "ZL003" not in active:

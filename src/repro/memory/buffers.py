@@ -86,6 +86,38 @@ class RemotePageStore:
         self.local_fallback_stores = 0
         self.degraded_skips = 0
         self.time_spent_s = 0.0
+        self._fallback_gauge = None
+        self._op_counters: Dict[str, object] = {}
+
+    def attach_metrics(self, registry, **labels) -> None:
+        """Publish this store's slow-path accounting to a registry.
+
+        Registers the ``page_store_fallback_pages`` gauge (pages pinned
+        to the local backup right now — the converted-to-slow-path
+        stranding signal ZomAudit's churn analyzer reads) and the
+        ``page_store_ops_total{op=...}`` counter family (fallback
+        stores/loads, re-homed pages, degraded skips).  Until attached,
+        the store keeps only its plain attribute counters.
+        """
+        self._fallback_gauge = registry.gauge(
+            "page_store_fallback_pages",
+            "Pages currently served from the local-storage backup.",
+            **labels)
+        for op in ("fallback_store", "fallback_load", "rehomed",
+                   "orphaned", "degraded_skip"):
+            self._op_counters[op] = registry.counter(
+                "page_store_ops_total",
+                "Remote-page-store slow-path operations, by kind.",
+                op=op, **labels)
+
+    def _count_op(self, op: str, amount: float = 1.0) -> None:
+        counter = self._op_counters.get(op)
+        if counter is not None:
+            counter.inc(amount)
+
+    def _sync_fallback_gauge(self) -> None:
+        if self._fallback_gauge is not None:
+            self._fallback_gauge.set(self.fallback_count)
 
     # -- lease management -------------------------------------------------
     def add_lease(self, lease: BufferLease) -> None:
@@ -114,9 +146,12 @@ class RemotePageStore:
             if placed is None:
                 self._locations[key] = _LOCAL
                 fallbacks += 1
+                self._count_op("orphaned")
             else:
                 self._locations[key] = placed[0]
                 self.time_spent_s += placed[1]
+                self._count_op("rehomed")
+        self._sync_fallback_gauge()
         return fallbacks
 
     def rebind(self, node: RdmaNode) -> None:
@@ -183,6 +218,8 @@ class RemotePageStore:
             self._backup[key] = payload
         self.pages_stored += 1
         self.local_fallback_stores += 1
+        self._count_op("fallback_store")
+        self._sync_fallback_gauge()
         self.time_spent_s += LOCAL_FALLBACK_S
         return key, LOCAL_FALLBACK_S
 
@@ -208,6 +245,8 @@ class RemotePageStore:
             self._locations[key] = placed[0]
             self.time_spent_s += placed[1]
             restored += 1
+        self._count_op("rehomed", restored)
+        self._sync_fallback_gauge()
         return restored
 
     def load(self, key: int) -> Tuple[bytes, float]:
@@ -217,6 +256,7 @@ class RemotePageStore:
             data = self._backup.get(key, bytes(PAGE_SIZE))
             elapsed = LOCAL_FALLBACK_S
             self.local_fallback_loads += 1
+            self._count_op("fallback_load")
         else:
             buffer_id, slot = handle
             state = self._leases[buffer_id]
@@ -240,6 +280,8 @@ class RemotePageStore:
             state.free_slots.append(slot)
         del self._locations[key]
         self._backup.pop(key, None)
+        if handle == _LOCAL:
+            self._sync_fallback_gauge()
 
     # -- helpers ---------------------------------------------------------
     def _place(self, payload: bytes, key: int):
@@ -268,6 +310,7 @@ class RemotePageStore:
             except RdmaError:
                 state.free_slots.append(slot)
                 self.degraded_skips += 1
+                self._count_op("degraded_skip")
                 continue
             state.used_slots[slot] = key
             return (buffer_id, slot), elapsed
@@ -302,6 +345,9 @@ class RemotePageStore:
                 self._locations[key] = placed[0]
                 self.time_spent_s += placed[1]
                 rehomed += 1
+        self._count_op("rehomed", rehomed)
+        self._count_op("orphaned", fallbacks)
+        self._sync_fallback_gauge()
         return rehomed, fallbacks
 
     def _fast_verb(self, state: _LeaseState, nbytes: int, read: bool):

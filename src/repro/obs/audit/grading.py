@@ -1,0 +1,141 @@
+"""Calibrated A–F grading for the ZomAudit dimensions.
+
+Every audited dimension produces one raw *value* in its natural unit
+(a conversion fraction, a zPUE ratio, kJ per GiB-hour, …).  A
+:class:`Calibration` maps that value onto a normalized score in [0, 1]
+by piecewise-linear interpolation between calibrated anchor points, and
+the score maps onto a letter grade with the usual school bands:
+
+====== =========
+grade  score
+====== =========
+A      >= 0.85
+B      >= 0.70
+C      >= 0.55
+D      >= 0.40
+F      <  0.40
+====== =========
+
+The anchors in :data:`CALIBRATIONS` were calibrated against the golden
+DC scenario (see :mod:`repro.obs.audit.golden`): the ZombieStack policy
+on the HP profile lands solid A/B grades, the no-power-management
+baseline lands D/F, and the checked-in CI baseline pins the grades so a
+silent efficiency regression moves a letter and fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Letter bands over the normalized score, best first.
+GRADE_BANDS: Tuple[Tuple[str, float], ...] = (
+    ("A", 0.85), ("B", 0.70), ("C", 0.55), ("D", 0.40), ("F", 0.0),
+)
+
+#: GPA points per letter (overall grade = mean over dimensions).
+GRADE_POINTS: Dict[str, float] = {
+    "A": 4.0, "B": 3.0, "C": 2.0, "D": 1.0, "F": 0.0,
+}
+
+
+def letter_for_score(score: float) -> str:
+    """The letter grade for a normalized score in [0, 1]."""
+    for letter, floor in GRADE_BANDS:
+        if score >= floor:
+            return letter
+    return "F"
+
+
+def letter_for_points(points: float) -> str:
+    """The letter closest to a GPA value (overall-grade rendering)."""
+    best, best_gap = "F", float("inf")
+    for letter, value in GRADE_POINTS.items():
+        gap = abs(points - value)
+        if gap < best_gap or (gap == best_gap and value > GRADE_POINTS[best]):
+            best, best_gap = letter, gap
+    return best
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Piecewise-linear value→score map over calibrated anchors.
+
+    ``anchors`` is a tuple of ``(value, score)`` points with values
+    strictly increasing; scores may run in either direction (an
+    efficiency ratio scores *down* as the value grows).  Values outside
+    the anchored range clamp to the end scores, so a pathological run
+    cannot score above 1 or below 0.
+    """
+
+    anchors: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.anchors) < 2:
+            raise ConfigurationError("calibration needs >= 2 anchors")
+        values = [v for v, _ in self.anchors]
+        if any(b <= a for a, b in zip(values, values[1:])):
+            raise ConfigurationError(
+                f"calibration anchors must strictly increase: {values}"
+            )
+        if any(not 0.0 <= s <= 1.0 for _, s in self.anchors):
+            raise ConfigurationError("anchor scores must lie in [0, 1]")
+
+    def score(self, value: float) -> float:
+        if value <= self.anchors[0][0]:
+            return self.anchors[0][1]
+        if value >= self.anchors[-1][0]:
+            return self.anchors[-1][1]
+        for (v0, s0), (v1, s1) in zip(self.anchors, self.anchors[1:]):
+            if value <= v1:
+                fraction = (value - v0) / (v1 - v0)
+                return s0 + (s1 - s0) * fraction
+        return self.anchors[-1][1]  # pragma: no cover - clamped above
+
+    def grade(self, value: float) -> str:
+        return letter_for_score(self.score(value))
+
+
+#: Per-dimension calibrations (the audit engine's grade thresholds).
+#: Units per key — see docs/AUDIT.md for the glossary:
+#:
+#: - ``zombie_conversion``: fraction of cold remote-memory demand served
+#:   from the zombie pool (higher is better);
+#: - ``stranded_memory``: fraction of powered memory serving nobody
+#:   (lower is better);
+#: - ``pue_efficiency``: zPUE = integrated energy over the ideal
+#:   energy-proportional demand energy (1.0 is perfect, lower is better);
+#: - ``energy_per_gb``: kJ per served GiB-hour of memory (lower is
+#:   better);
+#: - ``lease_churn``: control-plane churn operations per lend (lower is
+#:   better);
+#: - ``cost_projection``: % energy saving vs. the no-power-management
+#:   baseline (higher is better).
+CALIBRATIONS: Dict[str, Calibration] = {
+    "zombie_conversion": Calibration((
+        (0.0, 0.0), (0.25, 0.3), (0.5, 0.5), (0.75, 0.65),
+        (0.9, 0.8), (0.97, 0.9), (1.0, 1.0),
+    )),
+    "stranded_memory": Calibration((
+        (0.0, 1.0), (0.05, 0.9), (0.15, 0.75), (0.3, 0.55),
+        (0.5, 0.35), (0.75, 0.15), (1.0, 0.0),
+    )),
+    "pue_efficiency": Calibration((
+        (1.0, 1.0), (1.5, 0.9), (2.0, 0.8), (2.5, 0.7),
+        (3.5, 0.5), (5.0, 0.3), (8.0, 0.0),
+    )),
+    "energy_per_gb": Calibration((
+        (0.5, 1.0), (1.5, 0.9), (3.0, 0.8), (7.0, 0.7),
+        (12.0, 0.5), (25.0, 0.3), (60.0, 0.0),
+    )),
+    "lease_churn": Calibration((
+        (0.0, 1.0), (0.5, 0.9), (1.0, 0.78), (2.0, 0.6),
+        (4.0, 0.4), (8.0, 0.2), (16.0, 0.0),
+    )),
+    "cost_projection": Calibration((
+        (0.0, 0.0), (10.0, 0.25), (25.0, 0.45), (40.0, 0.65),
+        (50.0, 0.8), (60.0, 0.9), (75.0, 1.0),
+    )),
+}

@@ -1,0 +1,125 @@
+"""Audit inputs: one decoupled bundle of everything the analyzers read.
+
+The audit engine never touches live objects — it consumes an
+:class:`AuditInputs` built from a :class:`~repro.obs.MetricsRegistry`
+snapshot (the flattened ``{series: value}`` dict), the
+:class:`~repro.core.events.EventLog` kind counts, and optional per-host
+samples from a :class:`~repro.energy.rack_monitor.RackEnergyMonitor`.
+That makes every audit replayable: persist the snapshot JSON and the
+same report comes back byte-for-byte.
+
+Snapshot series names follow the registry convention
+(``name{label="value",...}``); :meth:`AuditInputs.series` parses them
+back so analyzers can filter by label without the live registry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_SERIES_RE = re.compile(r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+                        r'(?:\{(?P<labels>.*)\})?$')
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def parse_series(series: str) -> Tuple[str, Dict[str, str]]:
+    """``'name{a="x"}'`` → ``("name", {"a": "x"})``."""
+    match = _SERIES_RE.match(series)
+    if match is None:
+        return series, {}
+    labels = {m.group("key"): m.group("value")
+              for m in _LABEL_RE.finditer(match.group("labels") or "")}
+    return match.group("name"), labels
+
+
+@dataclass(frozen=True)
+class HostSample:
+    """One host's memory disposition at audit time."""
+
+    name: str
+    state: str               # "S0" / "SZ" / "S3" / ...
+    capacity_bytes: float    # usable DRAM (hypervisor reserve excluded)
+    stranded_bytes: float    # powered but serving nobody
+    lent_bytes: float        # lent into the rack pool
+
+    @property
+    def stranded_fraction(self) -> float:
+        if self.capacity_bytes <= 0:
+            return 0.0
+        return self.stranded_bytes / self.capacity_bytes
+
+
+@dataclass(frozen=True)
+class AuditInputs:
+    """Everything one audit run reads, decoupled from live objects."""
+
+    snapshot: Dict[str, float]
+    events: Dict[str, int] = field(default_factory=dict)
+    hosts: Tuple[HostSample, ...] = ()
+    duration_s: float = 0.0          # rack sim-time span audited
+    policy: str = "ZombieStack"      # the policy under audit
+    baseline_policy: str = "baseline"
+    profile: str = "HP"
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- snapshot access ---------------------------------------------------
+    def series(self, name: str, **label_filter
+               ) -> List[Tuple[Dict[str, str], float]]:
+        """Every ``(labels, value)`` under ``name`` matching the filter."""
+        out: List[Tuple[Dict[str, str], float]] = []
+        for key, value in self.snapshot.items():
+            series_name, labels = parse_series(key)
+            if series_name != name:
+                continue
+            if all(labels.get(k) == str(v) for k, v in label_filter.items()):
+                out.append((labels, value))
+        return sorted(out, key=lambda item: sorted(item[0].items()))
+
+    def value(self, name: str, **label_filter) -> float:
+        """Sum of the matching series (0.0 when absent)."""
+        return sum(v for _, v in self.series(name, **label_filter))
+
+    def has_series(self, name: str, **label_filter) -> bool:
+        return bool(self.series(name, **label_filter))
+
+    def event_count(self, kind: str) -> int:
+        return int(self.events.get(kind, 0))
+
+
+def collect_inputs(telemetry, rack=None, monitor=None,
+                   policy: str = "ZombieStack",
+                   baseline_policy: str = "baseline",
+                   profile: str = "HP",
+                   meta: Optional[Dict[str, object]] = None) -> AuditInputs:
+    """Build audit inputs from a live run.
+
+    ``telemetry`` supplies the registry snapshot; ``rack`` (optional)
+    supplies the event-log counts and the audited sim-time span;
+    ``monitor`` (optional, a :class:`RackEnergyMonitor`) supplies the
+    per-host stranded/lent samples it gauges on every tick.  Everything
+    is copied out, so the caller may keep mutating the run afterwards.
+    """
+    if monitor is not None:
+        monitor.sample()  # refresh the stranded/zombie-pool gauges first
+    snapshot = dict(telemetry.registry.snapshot())
+    events: Dict[str, int] = {}
+    duration_s = 0.0
+    hosts: Tuple[HostSample, ...] = ()
+    if rack is not None:
+        events = dict(rack.events.counts())
+        duration_s = float(rack.engine.now)
+        # Ring-buffer drops only lose Event objects; the attached metrics
+        # bridge keeps exact kind counts, so prefer those when present.
+        for labels, value in AuditInputs(snapshot).series(
+                "rack_events_total"):
+            kind = labels.get("kind")
+            if kind is not None:
+                events[kind] = max(events.get(kind, 0), int(value))
+    if monitor is not None:
+        hosts = tuple(monitor.host_samples())
+    return AuditInputs(snapshot=snapshot, events=events, hosts=hosts,
+                       duration_s=duration_s, policy=policy,
+                       baseline_policy=baseline_policy, profile=profile,
+                       meta=dict(meta or {}))

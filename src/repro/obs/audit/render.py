@@ -1,0 +1,161 @@
+"""Render an :class:`~repro.obs.audit.engine.AuditReport`.
+
+Three formats, all deterministic:
+
+- ``to_text`` — the operator-facing scorecard;
+- ``to_json`` — byte-stable machine output (sorted keys, floats rounded
+  to 6 decimal places, trailing newline) — the golden-baseline format;
+- ``to_prometheus`` — the grades and raw values re-exported as gauges
+  through a fresh registry, validated by the same
+  :func:`~repro.obs.export.validate_prometheus_text` the scrapers use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.obs.export import to_prometheus_text, validate_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.audit.engine import AuditReport
+from repro.obs.audit.grading import GRADE_POINTS
+
+
+def _round(value):
+    """Round floats (recursively) so JSON output is byte-stable."""
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, dict):
+        return {k: _round(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_round(v) for v in value]
+    return value
+
+
+def report_dict(report: AuditReport) -> Dict:
+    """The canonical machine-readable form of a report."""
+    return _round({
+        "audit": {
+            "policy": report.policy,
+            "baseline_policy": report.baseline_policy,
+            "profile": report.profile,
+            "duration_s": report.duration_s,
+            "overall_grade": report.overall_grade,
+            "overall_points": report.overall_points,
+        },
+        "dimensions": [
+            {
+                "key": dim.key,
+                "title": dim.title,
+                "available": dim.available,
+                "value": dim.value,
+                "unit": dim.unit,
+                "score": dim.score,
+                "grade": dim.grade,
+                "summary": dim.summary,
+                "detail": dict(sorted(dim.detail.items())),
+            }
+            for dim in report.dimensions
+        ],
+        "recommendations": [
+            {
+                "rank": rank,
+                "action": rec.action,
+                "impact_j_per_hour": rec.impact_j_per_hour,
+                "dimension": rec.dimension,
+                "rationale": rec.rationale,
+                "basis": dict(sorted(rec.basis.items())),
+            }
+            for rank, rec in enumerate(report.recommendations, start=1)
+        ],
+        "meta": {str(k): report.meta[k] for k in sorted(report.meta)},
+    })
+
+
+def to_json(report: AuditReport) -> str:
+    return json.dumps(report_dict(report), indent=2, sort_keys=True) + "\n"
+
+
+def to_text(report: AuditReport) -> str:
+    lines: List[str] = []
+    lines.append("== ZomAudit fleet report ==")
+    lines.append(f"policy: {report.policy}  (baseline: "
+                 f"{report.baseline_policy}, profile: {report.profile})")
+    if report.duration_s > 0:
+        lines.append(f"audited sim-time span: {report.duration_s:.0f} s")
+    lines.append(f"overall grade: {report.overall_grade} "
+                 f"(GPA {report.overall_points:.2f})")
+    lines.append("")
+    lines.append(f"{'dimension':<28} {'grade':>5} {'score':>6} "
+                 f"{'value':>12} unit")
+    for dim in report.dimensions:
+        if dim.available:
+            lines.append(f"{dim.title:<28} {dim.grade:>5} {dim.score:>6.2f} "
+                         f"{dim.value:>12.4f} {dim.unit}")
+        else:
+            lines.append(f"{dim.title:<28} {'-':>5} {'-':>6} {'-':>12} "
+                         f"(not measurable)")
+    lines.append("")
+    lines.append("-- findings --")
+    for dim in report.dimensions:
+        marker = dim.grade if dim.available else "-"
+        lines.append(f"  [{marker}] {dim.key}: {dim.summary}")
+    lines.append("")
+    if report.recommendations:
+        lines.append("-- ranked recommendations --")
+        for rank, rec in enumerate(report.recommendations, start=1):
+            lines.append(f"  {rank}. {rec.action}")
+            lines.append(f"     impact: ~{rec.impact_j_per_hour:,.0f} J/hour"
+                         f"  [{rec.dimension}]")
+            lines.append(f"     why: {rec.rationale}")
+    else:
+        lines.append("-- no recommendations: fleet is running clean --")
+    return "\n".join(lines) + "\n"
+
+
+def to_prometheus(report: AuditReport) -> str:
+    """Re-export the scorecard as Prometheus gauges (validated)."""
+    registry = MetricsRegistry()
+    overall = registry.gauge(
+        "audit_overall_points",
+        "Fleet audit GPA (4.0 = straight A).", policy=report.policy)
+    overall.set(report.overall_points)
+    for dim in report.dimensions:
+        labels = dict(dimension=dim.key, policy=report.policy)
+        if not dim.available:
+            continue
+        registry.gauge("audit_dimension_score",
+                       "Calibrated audit score in [0, 1].", **labels
+                       ).set(round(dim.score, 6))
+        registry.gauge("audit_dimension_value",
+                       "Raw audit dimension value.", **labels
+                       ).set(round(dim.value, 6))
+        registry.gauge("audit_dimension_grade_points",
+                       "Letter grade as GPA points.", **labels
+                       ).set(GRADE_POINTS[dim.grade])
+    registry.gauge("audit_recommendations",
+                   "Number of ranked recommendations.", policy=report.policy
+                   ).set(float(len(report.recommendations)))
+    if report.recommendations:
+        registry.gauge(
+            "audit_top_impact_j_per_hour",
+            "Impact of the highest-ranked recommendation.",
+            policy=report.policy
+        ).set(round(report.recommendations[0].impact_j_per_hour, 6))
+    text = to_prometheus_text(registry)
+    problems = validate_prometheus_text(text)
+    if problems:  # pragma: no cover - exporter invariant
+        raise AssertionError(f"invalid audit exposition: {problems}")
+    return text
+
+
+RENDERERS = {"text": to_text, "json": to_json, "prom": to_prometheus}
+
+
+def render(report: AuditReport, format: str = "text") -> str:
+    try:
+        renderer = RENDERERS[format]
+    except KeyError:
+        raise ValueError(f"unknown audit format {format!r} "
+                         f"(choose from {sorted(RENDERERS)})")
+    return renderer(report)

@@ -9,12 +9,15 @@ Renders, from one :class:`~repro.obs.Telemetry` hub:
   sit there now),
 - a one-line census of everything else the registry holds.
 
-Everything is plain text so it drops into CI logs and BENCH JSON
-side-by-side; machine consumers should use the exporters instead.
+The default rendering is plain text so it drops into CI logs and BENCH
+JSON side-by-side; ``report_data``/``render_report_json`` expose the
+same tables machine-readably (``python -m repro.obs --format json``),
+and the exporters remain the right feed for scrapers.
 """
 
 from __future__ import annotations
 
+import json
 from typing import List, TYPE_CHECKING
 
 from repro.obs.metrics import Histogram, MetricsRegistry
@@ -32,27 +35,54 @@ def _fmt_s(seconds: float) -> str:
     return f"{seconds * 1e6:.1f}us"
 
 
+def _verb_rows(registry: MetricsRegistry) -> List[dict]:
+    """One dict per verb with calls/quantiles/retries/errors.
+
+    A verb whose histogram never completed a call (``count == 0``) but
+    which accumulated retries or failures still gets a row — quantiles
+    are ``None`` — so an all-timeouts verb cannot silently vanish from
+    the report.  Verbs with no activity at all are dropped.
+    """
+    rows: List[dict] = []
+    for labels in registry.labels_for("rpc_call_seconds"):
+        verb = labels.get("verb", "?")
+        hist = registry.get("rpc_call_seconds", **labels)
+        if not isinstance(hist, Histogram):
+            continue
+        retries = int(registry.value("rpc_retries_total", verb=verb))
+        errors = int(registry.value("rpc_failures_total", verb=verb))
+        if hist.count == 0 and not retries and not errors:
+            continue
+        empty = hist.count == 0
+        rows.append({
+            "verb": verb,
+            "calls": hist.count,
+            "p50_s": None if empty else hist.quantile(0.5),
+            "p90_s": None if empty else hist.quantile(0.9),
+            "p99_s": None if empty else hist.quantile(0.99),
+            "retries": retries,
+            "errors": errors,
+        })
+    return rows
+
+
 def _verb_table(registry: MetricsRegistry) -> List[str]:
-    label_sets = registry.labels_for("rpc_call_seconds")
-    if not label_sets:
+    rows = _verb_rows(registry)
+    if not rows:
         return ["  (no RPC calls recorded)"]
     lines = [
         f"  {'verb':<22} {'calls':>6} {'p50':>10} {'p90':>10} "
         f"{'p99':>10} {'retries':>7} {'errors':>6}"
     ]
-    for labels in label_sets:
-        verb = labels.get("verb", "?")
-        hist = registry.get("rpc_call_seconds", **labels)
-        if not isinstance(hist, Histogram) or hist.count == 0:
-            continue
-        retries = registry.value("rpc_retries_total", verb=verb)
-        errors = registry.value("rpc_failures_total", verb=verb)
+    for row in rows:
+        quantiles = [
+            "-" if row[q] is None else _fmt_s(row[q])
+            for q in ("p50_s", "p90_s", "p99_s")
+        ]
         lines.append(
-            f"  {verb:<22} {hist.count:>6} "
-            f"{_fmt_s(hist.quantile(0.5)):>10} "
-            f"{_fmt_s(hist.quantile(0.9)):>10} "
-            f"{_fmt_s(hist.quantile(0.99)):>10} "
-            f"{int(retries):>7} {int(errors):>6}"
+            f"  {row['verb']:<22} {row['calls']:>6} "
+            f"{quantiles[0]:>10} {quantiles[1]:>10} {quantiles[2]:>10} "
+            f"{row['retries']:>7} {row['errors']:>6}"
         )
     return lines
 
@@ -134,3 +164,51 @@ def render_report(telemetry: "Telemetry", top_n: int = 10) -> str:
         f" | timeline samples: {len(tracer.samples)}"
     )
     return "\n".join(lines) + "\n"
+
+
+def report_data(telemetry: "Telemetry", top_n: int = 10) -> dict:
+    """The report's tables as one JSON-serializable dict."""
+    registry = telemetry.registry
+    tracer = telemetry.tracer
+    if not telemetry.enabled:
+        return {"enabled": False}
+    dwell = registry.get("sz_dwell_seconds")
+    dwell_count = dwell.count if isinstance(dwell, Histogram) else 0
+    current = registry.get("zombie_hosts")
+    return {
+        "enabled": True,
+        "verbs": _verb_rows(registry),
+        "slowest_spans": [
+            {"name": span.name, "duration_s": span.duration_s,
+             "trace_id": span.trace_id, "span_id": span.span_id,
+             "parent_id": span.parent_id, "status": span.status,
+             "node": span.tags.get("node")}
+            for span in tracer.slowest(top_n)
+        ],
+        "sz_residency": {
+            "completed_stays": dwell_count,
+            "mean_dwell_s": (dwell.mean if dwell_count else None),
+            "hosts_in_sz": (int(current.value)  # type: ignore[union-attr]
+                            if current is not None else None),
+            "entered": int(registry.value("sz_transitions_total",
+                                          direction="enter")),
+            "exited": int(registry.value("sz_transitions_total",
+                                         direction="exit")),
+        },
+        "registry": {
+            "families": [
+                {"name": family.name, "kind": family.kind,
+                 "series": len(family.children)}
+                for family in registry.families()
+            ],
+            "spans_recorded": len(tracer.spans),
+            "timeline_samples": len(tracer.samples),
+            "spans_dropped": tracer.dropped,
+        },
+    }
+
+
+def render_report_json(telemetry: "Telemetry", top_n: int = 10) -> str:
+    """``report_data`` as stable JSON (sorted keys, trailing newline)."""
+    return json.dumps(report_data(telemetry, top_n=top_n),
+                      indent=2, sort_keys=True) + "\n"

@@ -50,9 +50,15 @@ def run_golden_scenario(telemetry: Optional[Telemetry] = None):
     from repro.traces.schema import TraceConfig
     from repro.workloads.driver import run_stream
 
+    from repro.energy.rack_monitor import RackEnergyMonitor
+
     tel = telemetry or Telemetry(enabled=True)
     rack = Rack(["user", "active", "spare"], memory_bytes=512 * MiB,
                 buff_size=16 * MiB, telemetry=tel)
+    # Meter the rack so the fleet-audit gauges (stranded_bytes,
+    # zombie_pool_bytes, host_energy_joules_total, ...) are exercised by
+    # the same golden scenario that pins the RPC contract.
+    monitor = RackEnergyMonitor(rack, HP_PROFILE, sample_period_s=0.5)
 
     # Sz entry: GS_goto_zombie + the mirror_op fan-out to the secondary.
     rack.make_zombie("spare")
@@ -193,12 +199,21 @@ def self_check() -> List[str]:
         ("vm_migrations_total", 1), ("recovery_incidents_total", 1),
         ("rack_events_total", 1), ("dc_energy_joules_total", 1),
         ("workload_accesses_total", 1), ("migration_seconds", 1),
+        ("host_energy_joules_total", 1), ("host_memory_bytes", 1),
     ):
         families = tel.registry.labels_for(name)
         total = sum(tel.registry.value(name, **labels) for labels in families)
         if total < minimum:
             problems.append(f"golden: metric {name} at {total}, "
                             f"expected >= {minimum}")
+    # The fleet-audit gauges (ZL007's metric contract) must be present
+    # in the registry even when their current value is legitimately 0
+    # (e.g. the zombie pool after the last Sz host woke).
+    for name in ("host_power_watts", "stranded_bytes",
+                 "zombie_pool_bytes", "zombie_pool_free_bytes"):
+        if not tel.registry.labels_for(name):
+            problems.append(f"golden: fleet-audit metric {name} was never "
+                            "registered (ZomAudit cannot grade this run)")
     if not tel.tracer.samples:
         problems.append("golden: the energy simulation recorded no "
                         "timeline samples")

@@ -311,6 +311,54 @@ class TestZL007TracedRegistrations:
         assert lint_paths([str(REPO_SRC)], rules=["ZL007"]) == []
 
 
+class TestZL007AuditMetricContract:
+    _MONITOR_OK = (
+        "class Monitor:\n"
+        "    def publish(self, registry):\n"
+        "        registry.gauge('host_memory_bytes', 'Cap.').set(1)\n"
+        "        registry.gauge('stranded_bytes', 'Idle.').set(0)\n"
+        "        registry.gauge('zombie_pool_bytes', 'Pool.').set(0)\n"
+        "        registry.gauge('zombie_pool_free_bytes', 'Free.').set(0)\n"
+    )
+
+    def _tree(self, tmp_path, monitor_source):
+        src = tmp_path / "src" / "repro"
+        energy = src / "energy"
+        energy.mkdir(parents=True)
+        (energy / "rack_monitor.py").write_text(monitor_source)
+        return tmp_path / "src"
+
+    def test_all_audit_gauges_registered_is_clean(self, tmp_path):
+        src = self._tree(tmp_path, self._MONITOR_OK)
+        assert lint_paths([str(src)], rules=["ZL007"]) == []
+
+    def test_dropped_audit_gauge_flagged(self, tmp_path):
+        dropped = self._MONITOR_OK.replace(
+            "        registry.gauge('stranded_bytes', 'Idle.').set(0)\n", "")
+        src = self._tree(tmp_path, dropped)
+        findings = lint_paths([str(src)], rules=["ZL007"])
+        assert _rules(findings) == ["ZL007"]
+        assert "stranded_bytes" in findings[0].message
+        assert "unmeasurable" in findings[0].message
+
+    def test_renamed_audit_gauge_flagged(self, tmp_path):
+        renamed = self._MONITOR_OK.replace("'zombie_pool_bytes'",
+                                           "'zombie_bytes'")
+        src = self._tree(tmp_path, renamed)
+        findings = lint_paths([str(src)], rules=["ZL007"])
+        assert [f for f in findings
+                if "zombie_pool_bytes" in f.message]
+
+    def test_tree_without_contract_modules_is_exempt(self, tmp_path):
+        src = tmp_path / "src" / "repro" / "util"
+        src.mkdir(parents=True)
+        (src / "misc.py").write_text("X = 1\n")
+        assert lint_paths([str(tmp_path / "src")], rules=["ZL007"]) == []
+
+    def test_repository_satisfies_audit_metric_contract(self):
+        assert lint_paths([str(REPO_SRC)], rules=["ZL007"]) == []
+
+
 def _idem_tree(tmp_path, contract=None, registered=None, classes=True,
                model_verbs=("GS_ping",)):
     """A minimal tree carrying the delivery-semantics contract.

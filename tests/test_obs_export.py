@@ -117,3 +117,42 @@ class TestReport:
     def test_disabled_hub_renders_a_stub(self):
         report = render_report(Telemetry(enabled=False))
         assert "DISABLED" in report
+
+    def test_all_timeouts_verb_still_listed(self):
+        """A verb with retries/failures but zero completed calls must
+        appear (with '-' quantiles), not silently vanish."""
+        tel = Telemetry(enabled=True)
+        tel.registry.histogram("rpc_call_seconds", "Latency.",
+                               verb="GS_wake")  # registered, never observed
+        tel.registry.counter("rpc_retries_total", "Retries.",
+                             verb="GS_wake").inc(3)
+        tel.registry.counter("rpc_failures_total", "Failures.",
+                             verb="GS_wake").inc(1)
+        report = render_report(tel)
+        line = next(l for l in report.splitlines() if "GS_wake" in l)
+        assert line.count("-") >= 3          # p50/p90/p99 placeholders
+        assert "3" in line and "1" in line   # retries and errors survive
+
+    def test_idle_registered_verb_renders_placeholder(self):
+        """Empty histograms with no retries/errors at all: the table
+        collapses to the no-calls placeholder, never a bare header."""
+        tel = Telemetry(enabled=True)
+        tel.registry.histogram("rpc_call_seconds", "Latency.",
+                               verb="GS_wake")
+        report = render_report(tel)
+        assert "(no RPC calls recorded)" in report
+        assert "p50" not in report           # header not rendered rowless
+
+    def test_report_data_machine_readable(self):
+        from repro.obs.report import render_report_json, report_data
+        data = report_data(_populated_hub(), top_n=5)
+        assert data["enabled"] is True
+        assert data["verbs"][0]["verb"] == "GS_wake"
+        assert data["verbs"][0]["calls"] == 2
+        assert data["verbs"][0]["p50_s"] is not None
+        assert data["sz_residency"]["hosts_in_sz"] == 2
+        assert data["registry"]["timeline_samples"] == 1
+        text = render_report_json(_populated_hub(), top_n=5)
+        assert json.loads(text)["enabled"] is True
+        assert text.endswith("\n")
+        assert report_data(Telemetry(enabled=False)) == {"enabled": False}
