@@ -290,6 +290,13 @@ class GlobalMemoryController:
         self._revoke([b for b in chosen if b.allocated])
         reclaimed = []
         for descriptor in chosen:
+            # The US_reclaim round trips above are yield points: once the
+            # serving loop interleaves requests, another handler may have
+            # released or transferred a chosen buffer while the revocation
+            # was in flight.  Re-validate against the database before
+            # removing (ZL010).
+            if descriptor.buffer_id not in self.db:
+                continue
             self.db.remove(descriptor.buffer_id)
             self.allocation_purpose.pop(descriptor.buffer_id, None)
             reclaimed.append(descriptor.buffer_id)

@@ -77,6 +77,34 @@ VERB_IDEMPOTENCY = {
 }
 
 
+#: The *error contract* of every protocol verb: the exception types a
+#: handler may let escape to the RPC boundary (a declared base class
+#: covers its subclasses).  Anything escaping a verb is serialized back
+#: to the caller, so this tuple IS part of the wire contract — callers
+#: decide retry/abort/fence from it.  The transport-retryable family
+#: (``rdma.rpc.is_retryable``) and ``FencingError`` are implicitly
+#: allowed on every verb and never listed here.  Kept as a pure literal
+#: so ZomFlow's ZL011 pass can read it statically and verify every raise
+#: site interprocedurally (see ``docs/FLOWCHECK.md``).
+VERB_ERRORS = {
+    "GS_goto_zombie": (),
+    "GS_reclaim": (),
+    "GS_alloc_ext": ("AllocationError",),
+    "GS_alloc_swap": ("AllocationError",),
+    "GS_get_lru_zombie": (),
+    "GS_release": (),
+    "GS_transfer": ("BufferError_",),
+    "GS_wake": (),
+    "US_reclaim": ("BufferError_",),
+    "US_invalidate": (),
+    "AS_get_free_mem": ("AllocationError",),
+    "AS_resync": (),
+    "GS_report_failure": (),
+    "mirror_op": (),
+    "heartbeat": (),
+}
+
+
 class BufferKind(str, enum.Enum):
     """Who serves a buffer: a zombie (Sz) or an active (S0) server.
 

@@ -231,6 +231,12 @@ class RecoveryCoordinator:
                         user, {}).setdefault(host, [])
                     owed.extend(x for x in ids if x not in owed)
             for descriptor in descriptors:
+                # The US_invalidate round trips above are yield points:
+                # an interleaved handler (a release, another recovery) may
+                # already have removed one of these records.  Re-validate
+                # before purging (ZL010).
+                if descriptor.buffer_id not in controller.db:
+                    continue
                 controller.db.remove(descriptor.buffer_id)
                 controller.allocation_purpose.pop(descriptor.buffer_id, None)
             if host in controller.zombie_hosts:
@@ -304,7 +310,18 @@ class RecoveryCoordinator:
             controller._agent_call(host, Method.AS_RESYNC, stale)
         except (RpcError, ControllerError):
             return  # keep pending; retried on the next probe tick
-        del self._pending_resync[host]
+        # The AS_resync round trip is a yield point: a recovery that runs
+        # while it is in flight may append fresh stale ids for this host.
+        # Dropping the whole key would lose them — clear only what this
+        # call actually resynced (ZL010).
+        owed = self._pending_resync.get(host)
+        if owed is None:
+            return
+        remaining = [x for x in owed if x not in stale]
+        if remaining:
+            self._pending_resync[host] = remaining
+        else:
+            del self._pending_resync[host]
 
     def _flush_pending_resyncs(self) -> None:
         for host in sorted(self._pending_resync):

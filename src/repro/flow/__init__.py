@@ -1,0 +1,99 @@
+"""ZomFlow: interprocedural dataflow analysis over the ``repro`` tree.
+
+Where ZomLint (``repro.lint``) is a set of local, single-file AST rules,
+ZomFlow builds a whole-program call graph (:mod:`repro.flow.callgraph`)
+and runs three interprocedural passes on it:
+
+======  ==============================================================
+ZL009   transitive sim-purity taint (:mod:`repro.flow.purity`)
+ZL010   yield-point atomicity races (:mod:`repro.flow.atomicity`)
+ZL011   error-contract flow at verb boundaries
+        (:mod:`repro.flow.contracts`)
+======  ==============================================================
+
+Findings carry a line-free *fingerprint* and are ratcheted against the
+checked-in ``flow_baseline.json`` (:mod:`repro.flow.baseline`): new
+findings fail the run, pre-existing ones are burn-down debt.  Line
+suppressions reuse the ZomLint engine: ``# zl: ignore[ZL009]`` on the
+reported line silences that rule there.
+
+Run ``python -m repro.flow src`` (exit 0 clean/baselined, 1 on new
+findings, 2 on usage errors — mirroring ``repro.lint``).  See
+``docs/FLOWCHECK.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.flow.atomicity import check_atomicity
+from repro.flow.baseline import (diff_against_baseline, load_baseline,
+                                 write_baseline)
+from repro.flow.callgraph import CallGraph, build_graph
+from repro.flow.contracts import check_contracts
+from repro.flow.purity import check_purity
+from repro.flow.report import (ALL_FLOW_RULES, FLOW_RULE_DESCRIPTIONS,
+                               FlowFinding, render_findings)
+
+__all__ = [
+    "ALL_FLOW_RULES", "FLOW_RULE_DESCRIPTIONS", "FlowFinding", "CallGraph",
+    "analyze_paths", "analyze_sources", "build_graph", "check_atomicity",
+    "check_contracts", "check_purity", "diff_against_baseline",
+    "load_baseline", "load_sources", "render_findings", "write_baseline",
+]
+
+
+def load_sources(paths: Sequence[str]) -> Dict[Path, str]:
+    """Read every python file under ``paths`` (skipping unreadable ones)."""
+    from repro.lint.engine import iter_python_files
+    sources: Dict[Path, str] = {}
+    for path in iter_python_files(paths):
+        try:
+            sources[path] = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+    return sources
+
+
+def analyze_sources(sources: Dict[Path, str],
+                    rules: Optional[Sequence[str]] = None
+                    ) -> List[FlowFinding]:
+    """All enabled passes over an in-memory tree, suppressions applied."""
+    findings, _ = analyze_sources_counted(sources, rules=rules)
+    return findings
+
+
+def analyze_sources_counted(sources: Dict[Path, str],
+                            rules: Optional[Sequence[str]] = None
+                            ) -> Tuple[List[FlowFinding], Dict[str, int]]:
+    """Like :func:`analyze_sources`, plus per-rule suppressed counts."""
+    from repro.lint.engine import parse_suppressions
+    enabled = set(rules) if rules is not None else set(ALL_FLOW_RULES)
+    graph = build_graph(sources)
+    raw: List[FlowFinding] = []
+    if "ZL009" in enabled:
+        raw.extend(check_purity(graph))
+    if "ZL010" in enabled:
+        raw.extend(check_atomicity(graph))
+    if "ZL011" in enabled:
+        raw.extend(check_contracts(graph, sources))
+    suppression_maps = {str(p): parse_suppressions(s)
+                        for p, s in sources.items()}
+    kept: List[FlowFinding] = []
+    suppressed: Dict[str, int] = {}
+    for finding in raw:
+        line_rules = suppression_maps.get(finding.path, {}).get(
+            finding.line, ())
+        if finding.rule in line_rules or "*" in line_rules:
+            suppressed[finding.rule] = suppressed.get(finding.rule, 0) + 1
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept, suppressed
+
+
+def analyze_paths(paths: Sequence[str],
+                  rules: Optional[Sequence[str]] = None) -> List[FlowFinding]:
+    """Analyze every python file under ``paths``."""
+    return analyze_sources(load_sources(paths), rules=rules)

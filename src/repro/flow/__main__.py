@@ -1,0 +1,101 @@
+"""CLI for ZomFlow: ``python -m repro.flow src``.
+
+Exit codes mirror ``repro.lint``: 0 when every finding is clean or
+baselined, 1 when new findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.flow import (ALL_FLOW_RULES, FLOW_RULE_DESCRIPTIONS,
+                        analyze_sources_counted, diff_against_baseline,
+                        load_baseline, load_sources, write_baseline)
+from repro.flow.report import FlowFinding
+
+
+def _print_stats(findings: List[FlowFinding], new: List[FlowFinding],
+                 suppressed: Dict[str, int]) -> None:
+    new_fps = {f.fingerprint for f in new}
+    print("rule    findings  new  baselined  suppressed")
+    for rule in ALL_FLOW_RULES:
+        total = sum(1 for f in findings if f.rule == rule)
+        fresh = sum(1 for f in findings
+                    if f.rule == rule and f.fingerprint in new_fps)
+        print(f"{rule}  {total:8d}  {fresh:3d}  {total - fresh:9d}  "
+              f"{suppressed.get(rule, 0):10d}")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.flow",
+        description="ZomFlow interprocedural analyzer (ZL009-ZL011).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze")
+    parser.add_argument("--rule", action="append", dest="rules",
+                        metavar="ZLxxx",
+                        help="restrict to one rule (repeatable)")
+    parser.add_argument("--baseline", default="flow_baseline.json",
+                        help="baseline file (default: flow_baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every finding "
+                             "and fail on any")
+    parser.add_argument("--regen", action="store_true",
+                        help="rewrite the baseline to the current findings")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-rule finding/suppression counts")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the flow rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_FLOW_RULES:
+            print(f"{rule}: {FLOW_RULE_DESCRIPTIONS[rule]}")
+        return 0
+
+    if args.rules:
+        unknown = set(args.rules) - set(ALL_FLOW_RULES)
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(sorted(unknown))}")
+
+    paths = args.paths or ["src"]
+    sources = load_sources(paths)
+    if not sources:
+        parser.error(f"no python files under: {', '.join(paths)}")
+    findings, suppressed = analyze_sources_counted(sources, rules=args.rules)
+
+    baseline_path = Path(args.baseline)
+    if args.regen:
+        write_baseline(baseline_path, findings)
+        print(f"baseline regenerated: {len(findings)} finding(s) -> "
+              f"{baseline_path}")
+        return 0
+
+    baseline = set() if args.no_baseline else load_baseline(baseline_path)
+    new, baselined, burned_down = diff_against_baseline(findings, baseline)
+
+    for finding in new:
+        print(finding)
+    if args.stats:
+        _print_stats(findings, new, suppressed)
+    if baselined:
+        print(f"{len(baselined)} baselined finding(s) (burn-down debt, "
+              f"see {baseline_path})")
+    if burned_down:
+        print(f"{len(burned_down)} baseline entr(ies) no longer fire — "
+              f"ratchet down with --regen:")
+        for fingerprint in burned_down:
+            print(f"  fixed: {fingerprint}")
+    if new:
+        print(f"{len(new)} new finding(s) not in baseline")
+        return 1
+    print(f"flowcheck clean: {len(findings)} finding(s), all baselined")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,345 @@
+"""ZL011 — error-contract flow at verb-handler boundaries.
+
+ZL005 checks that a *handler body* does not swallow exceptions silently;
+it is blind to what the handler *throws*.  The RPC layer serializes any
+exception escaping a dispatched handler back to the caller, so the set
+of exception types that can cross a verb boundary IS part of the wire
+contract — callers decide retry/abort/fence from it.  This pass makes
+that contract explicit and checks it interprocedurally:
+
+- ``core/protocol.py`` declares ``VERB_ERRORS``: verb → tuple of
+  exception class names the verb may raise (a declared base class covers
+  its subtree);
+- the transport-retryable family (``is_retryable``: ``RpcTimeoutError``
+  plus ``RdmaError`` descendants outside the ``RpcError`` subtree) and
+  ``FencingError`` are implicitly allowed on every verb — they belong to
+  the transport/fencing planes, not to any one verb;
+- an *escaped-exception* summary is computed for every function by
+  fixpoint over the call graph, with ``try/except`` subtraction that
+  understands the ``errors.py`` class hierarchy;
+- every type escaping a registered handler that is neither declared nor
+  implicitly allowed is one finding, reported at the deepest raise site
+  with the handler → … → raise-site call chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.flow.callgraph import CallGraph, _dotted, verb_of_member
+from repro.flow.report import FlowFinding
+
+#: Exception families allowed to cross every verb boundary regardless of
+#: the per-verb declaration (see module docstring).
+IMPLICITLY_ALLOWED_ROOTS = ("FencingError",)
+
+
+class ErrorHierarchy:
+    """Class → ancestor map parsed from the tree's ``errors`` module."""
+
+    def __init__(self, parents: Dict[str, List[str]]):
+        self.parents = parents
+
+    def ancestors(self, name: str) -> Set[str]:
+        seen: Set[str] = set()
+        frontier = list(self.parents.get(name, ()))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.parents.get(current, ()))
+        return seen
+
+    def is_a(self, name: str, base: str) -> bool:
+        if base in ("Exception", "BaseException"):
+            return True
+        return name == base or base in self.ancestors(name)
+
+    def covered(self, name: str, declared: Sequence[str]) -> bool:
+        return any(self.is_a(name, base) for base in declared)
+
+    def retryable_family(self) -> Set[str]:
+        """Mirror of ``rdma.rpc.is_retryable``: RpcTimeoutError, plus the
+        RdmaError subtree minus the RpcError subtree."""
+        family = {"RpcTimeoutError"}
+        for name in self.parents:
+            lineage = self.ancestors(name) | {name}
+            if "RdmaError" in lineage and "RpcError" not in lineage:
+                family.add(name)
+        return family
+
+
+def parse_hierarchy(sources: Dict[Path, str]) -> ErrorHierarchy:
+    parents: Dict[str, List[str]] = {}
+    for path in sorted(sources):
+        if path.name != "errors.py":
+            continue
+        try:
+            tree = ast.parse(sources[path])
+        except SyntaxError:
+            continue
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                bases = [b for b in (_dotted(base) for base in node.bases)
+                         if b is not None]
+                parents[node.name] = [b.split(".")[-1] for b in bases]
+    return ErrorHierarchy(parents)
+
+
+def parse_verb_errors(sources: Dict[Path, str]
+                      ) -> Tuple[Optional[Dict[str, Tuple[str, ...]]],
+                                 Optional[Path]]:
+    """``VERB_ERRORS`` literal from ``core/protocol.py``, if present."""
+    protocol = next((p for p in sorted(sources)
+                     if p.parts[-2:] == ("core", "protocol.py")), None)
+    if protocol is None:
+        return None, None
+    try:
+        tree = ast.parse(sources[protocol])
+    except SyntaxError:
+        return None, protocol
+    for node in tree.body:
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target] if isinstance(node, ast.AnnAssign)
+                   else [])
+        if not any(isinstance(t, ast.Name) and t.id == "VERB_ERRORS"
+                   for t in targets):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Dict):
+            return None, protocol
+        contract: Dict[str, Tuple[str, ...]] = {}
+        for key, val in zip(value.keys, value.values):
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                continue
+            names: List[str] = []
+            if isinstance(val, (ast.Tuple, ast.List, ast.Set)):
+                for elt in val.elts:
+                    if (isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)):
+                        names.append(elt.value)
+                        continue
+                    dotted = _dotted(elt)
+                    if dotted is not None:
+                        names.append(dotted.split(".")[-1])
+            contract[key.value] = tuple(names)
+        return contract, protocol
+    return None, protocol
+
+
+class _EscapeAnalysis:
+    """Fixpoint escaped-exception summaries over the call graph."""
+
+    def __init__(self, graph: CallGraph, hierarchy: ErrorHierarchy):
+        self.graph = graph
+        self.hierarchy = hierarchy
+        self.summaries: Dict[str, Set[str]] = {
+            q: set() for q in graph.functions}
+        #: qual → [(type name, lineno)] of direct raises escaping locally.
+        self.raise_sites: Dict[str, List[Tuple[str, int]]] = {}
+        self._callees: Dict[str, Dict[int, Set[str]]] = {}
+        for edge in graph.edges:
+            self._callees.setdefault(edge.caller, {}).setdefault(
+                edge.lineno, set()).add(edge.callee)
+
+    def run(self) -> None:
+        for _ in range(30):
+            changed = False
+            for qual, fn in self.graph.functions.items():
+                sites: List[Tuple[str, int]] = []
+                escaped = self._body_escapes(
+                    getattr(fn.node, "body", []), qual, None, set(), sites)
+                self.raise_sites[qual] = sites
+                if escaped - self.summaries[qual]:
+                    self.summaries[qual] |= escaped
+                    changed = True
+            if not changed:
+                return
+
+    # -- recursive statement evaluation -------------------------------------
+    def _body_escapes(self, stmts: Sequence[ast.stmt], qual: str,
+                      caught_name: Optional[str], caught_types: Set[str],
+                      sites: List[Tuple[str, int]]) -> Set[str]:
+        escaped: Set[str] = set()
+        for stmt in stmts:
+            escaped |= self._stmt_escapes(stmt, qual, caught_name,
+                                          caught_types, sites)
+        return escaped
+
+    def _stmt_escapes(self, stmt: ast.stmt, qual: str,
+                      caught_name: Optional[str], caught_types: Set[str],
+                      sites: List[Tuple[str, int]]) -> Set[str]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return set()
+        if isinstance(stmt, ast.Try):
+            return self._try_escapes(stmt, qual, caught_name,
+                                     caught_types, sites)
+        if isinstance(stmt, ast.Raise):
+            return self._raise_escapes(stmt, qual, caught_name,
+                                       caught_types, sites)
+        if isinstance(stmt, (ast.If, ast.While)):
+            escaped = self._expr_escapes(stmt.test, qual)
+            escaped |= self._body_escapes(stmt.body, qual, caught_name,
+                                          caught_types, sites)
+            escaped |= self._body_escapes(stmt.orelse, qual, caught_name,
+                                          caught_types, sites)
+            return escaped
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            escaped = self._expr_escapes(stmt.iter, qual)
+            escaped |= self._body_escapes(stmt.body, qual, caught_name,
+                                          caught_types, sites)
+            escaped |= self._body_escapes(stmt.orelse, qual, caught_name,
+                                          caught_types, sites)
+            return escaped
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            escaped: Set[str] = set()
+            for item in stmt.items:
+                escaped |= self._expr_escapes(item.context_expr, qual)
+            escaped |= self._body_escapes(stmt.body, qual, caught_name,
+                                          caught_types, sites)
+            return escaped
+        # Simple statement: every call inside may propagate its callee's
+        # escapes.
+        return self._expr_escapes(stmt, qual)
+
+    def _expr_escapes(self, node: ast.AST, qual: str) -> Set[str]:
+        escaped: Set[str] = set()
+        callees_at = self._callees.get(qual, {})
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Lambda, ast.FunctionDef,
+                                ast.AsyncFunctionDef)):
+                continue
+            if isinstance(sub, ast.Call):
+                for callee in callees_at.get(sub.lineno, ()):
+                    escaped |= self.summaries.get(callee, set())
+        return escaped
+
+    def _raise_escapes(self, stmt: ast.Raise, qual: str,
+                       caught_name: Optional[str], caught_types: Set[str],
+                       sites: List[Tuple[str, int]]) -> Set[str]:
+        exc = stmt.exc
+        if exc is None:
+            return set(caught_types)  # bare re-raise inside except
+        if isinstance(exc, ast.Name) and exc.id == caught_name:
+            return set(caught_types)  # ``raise e`` re-raise
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        dotted = _dotted(target)
+        if dotted is None:
+            return set()
+        name = dotted.split(".")[-1]
+        sites.append((name, stmt.lineno))
+        escaped = {name}
+        if isinstance(exc, ast.Call):
+            escaped |= self._expr_escapes(exc, qual)
+        return escaped
+
+    def _try_escapes(self, stmt: ast.Try, qual: str,
+                     caught_name: Optional[str], caught_types: Set[str],
+                     sites: List[Tuple[str, int]]) -> Set[str]:
+        body_esc = self._body_escapes(stmt.body, qual, caught_name,
+                                      caught_types, sites)
+        escaped: Set[str] = set()
+        remaining = set(body_esc)
+        for handler in stmt.handlers:
+            declared = _handler_types(handler)
+            matched = {t for t in remaining
+                       if self.hierarchy.covered(t, declared)}
+            remaining -= matched
+            if not matched and declared:
+                # Nothing statically known flowed in, but a bare re-raise
+                # in the handler still re-raises the declared family.
+                matched = set(declared) - {"Exception", "BaseException"}
+            escaped |= self._body_escapes(
+                handler.body, qual, handler.name, matched, sites)
+        escaped |= remaining
+        escaped |= self._body_escapes(stmt.orelse, qual, caught_name,
+                                      caught_types, sites)
+        escaped |= self._body_escapes(stmt.finalbody, qual, caught_name,
+                                      caught_types, sites)
+        return escaped
+
+
+def _handler_types(handler: ast.ExceptHandler) -> List[str]:
+    if handler.type is None:
+        return ["BaseException"]
+    types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    names: List[str] = []
+    for t in types:
+        dotted = _dotted(t)
+        if dotted is not None:
+            names.append(dotted.split(".")[-1])
+    return names
+
+
+def check_contracts(graph: CallGraph,
+                    sources: Dict[Path, str]) -> List[FlowFinding]:
+    """Run ZL011 over a built call graph."""
+    contract, protocol_path = parse_verb_errors(sources)
+    if protocol_path is None:
+        return []  # fixture tree without a protocol module: nothing to check
+    if contract is None:
+        return [FlowFinding(
+            rule="ZL011", path=str(protocol_path), line=1,
+            message="core/protocol.py declares no VERB_ERRORS literal; "
+                    "the error contract of every verb is unchecked",
+            fingerprint="ZL011:missing-contract",
+        )]
+    hierarchy = parse_hierarchy(sources)
+    implicitly_allowed = (set(hierarchy.retryable_family())
+                          | set(IMPLICITLY_ALLOWED_ROOTS))
+    member_map = verb_of_member(sources)
+    analysis = _EscapeAnalysis(graph, hierarchy)
+    analysis.run()
+    findings: List[FlowFinding] = []
+    seen: Set[Tuple[str, str]] = set()
+    for binding in sorted(graph.handler_bindings,
+                          key=lambda b: (b.path, b.lineno)):
+        verb = binding.verb or member_map.get(binding.member or "")
+        if verb is None:
+            continue
+        declared = contract.get(verb, ())
+        for handler in binding.handlers:
+            for exc_type in sorted(analysis.summaries.get(handler, ())):
+                if (verb, exc_type) in seen:
+                    continue
+                if any(hierarchy.is_a(exc_type, base)
+                       for base in implicitly_allowed):
+                    continue
+                if hierarchy.covered(exc_type, declared):
+                    continue
+                seen.add((verb, exc_type))
+                findings.append(_finding_for(graph, analysis, handler,
+                                             verb, exc_type))
+    findings.sort(key=lambda f: (f.path, f.line))
+    return findings
+
+
+def _finding_for(graph: CallGraph, analysis: _EscapeAnalysis,
+                 handler: str, verb: str, exc_type: str) -> FlowFinding:
+    site_fn, site_line = handler, graph.functions[handler].lineno
+    best_chain: Optional[List[str]] = None
+    for qual in sorted(graph.reachable_from([handler])):
+        if any(t == exc_type for t, _ in analysis.raise_sites.get(qual, ())):
+            chain = graph.shortest_chain({handler}, qual)
+            if chain is not None and (best_chain is None
+                                      or len(chain) < len(best_chain)):
+                best_chain = chain
+                site_fn = qual
+                site_line = next(l for t, l in analysis.raise_sites[qual]
+                                 if t == exc_type)
+    fn = graph.functions[site_fn]
+    chain_text = graph.render(best_chain) if best_chain else fn.short
+    return FlowFinding(
+        rule="ZL011", path=fn.path, line=site_line,
+        message=(f"{exc_type} escapes verb {verb!r} via {chain_text} but is "
+                 f"not in the verb's VERB_ERRORS declaration nor the "
+                 "transport-retryable family; declare it, catch it, or map "
+                 "it to a declared type at the boundary"),
+        fingerprint=f"ZL011:{verb}:{exc_type}",
+    )

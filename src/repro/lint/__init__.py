@@ -19,11 +19,21 @@ ZL006     drift between the ZomCheck model's verb contract and the dispatch
 ZL007     protocol verbs registered without a ``server.traced(...)`` wrapper
 ZL008     traced protocol verbs missing (or contradicting) their declared
           idempotency class, and ``VERB_IDEMPOTENCY`` drift
+ZL009     impurity sources (wall clock, global random, ``os.urandom``,
+          unordered set iteration) transitively reaching sim context
+          (interprocedural; lives in :mod:`repro.flow`)
+ZL010     shared rack state read before and written after an RPC yield
+          point without re-validation or fencing (:mod:`repro.flow`)
+ZL011     exception types escaping a verb handler outside the verb's
+          declared ``VERB_ERRORS`` family (:mod:`repro.flow`)
 ========  ====================================================================
 
-Run it as ``python -m repro.lint src`` (exit status 1 on findings).
-Suppress a finding by putting ``# zl: ignore[ZLxxx]`` on the flagged line,
-ideally followed by a short justification.
+Run it as ``python -m repro.lint src`` (exit status 1 on findings; add
+``--stats`` for per-rule finding and suppression counts).  ZL009–ZL011 are
+whole-program dataflow passes run by ``python -m repro.flow src`` — see
+``docs/FLOWCHECK.md`` — but share this rule namespace and the same
+suppression syntax.  Suppress a finding by putting ``# zl: ignore[ZLxxx]``
+on the flagged line, ideally followed by a short justification.
 """
 
 from repro.lint.engine import Finding, lint_paths, lint_source

@@ -9,7 +9,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.lint.engine import lint_paths
+from repro.lint.engine import lint_paths_counted
 from repro.lint.rules import ALL_RULES, RULE_DESCRIPTIONS
 
 
@@ -26,6 +26,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run only the given rule (repeatable)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-rule finding and suppression counts")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -38,9 +40,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         unknown = sorted(set(rules) - set(ALL_RULES))
         if unknown:
             parser.error(f"unknown rule(s): {', '.join(unknown)}")
-    findings = lint_paths(args.paths or ["src"], rules=rules)
+    findings, suppressed = lint_paths_counted(args.paths or ["src"],
+                                              rules=rules)
     for finding in findings:
         print(finding)
+    if args.stats:
+        shown = rules or ALL_RULES
+        print("rule    findings  suppressed")
+        for rule in shown:
+            count = sum(1 for f in findings if f.rule == rule)
+            print(f"{rule}  {count:8d}  {suppressed.get(rule, 0):10d}")
     if findings:
         print(f"\n{len(findings)} finding(s). Suppress intentional ones "
               "with '# zl: ignore[ZLxxx] <why>' on the flagged line.")

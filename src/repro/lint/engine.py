@@ -45,18 +45,25 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
 
 
 def apply_suppressions(findings: Iterable[Finding],
-                       suppressed: Dict[int, Set[str]]) -> List[Finding]:
+                       suppressed: Dict[int, Set[str]],
+                       counts: Optional[Dict[str, int]] = None
+                       ) -> List[Finding]:
+    """Drop suppressed findings; ``counts`` (rule → n) tallies the drops."""
     kept = []
     for finding in findings:
         rules = suppressed.get(finding.line, ())
         if finding.rule in rules or "*" in rules:
+            if counts is not None:
+                counts[finding.rule] = counts.get(finding.rule, 0) + 1
             continue
         kept.append(finding)
     return kept
 
 
 def lint_source(source: str, path: str = "<string>",
-                rules: Optional[Sequence[str]] = None) -> List[Finding]:
+                rules: Optional[Sequence[str]] = None,
+                suppressed_counts: Optional[Dict[str, int]] = None
+                ) -> List[Finding]:
     """Run the per-file rules over one source text (honouring suppressions).
 
     ``rules`` limits the run to a subset of rule ids (fixture tests use
@@ -65,7 +72,8 @@ def lint_source(source: str, path: str = "<string>",
     """
     from repro.lint.rules import check_file
     findings = check_file(source, path, rules=rules)
-    return apply_suppressions(findings, parse_suppressions(source))
+    return apply_suppressions(findings, parse_suppressions(source),
+                              counts=suppressed_counts)
 
 
 def iter_python_files(paths: Sequence[str]) -> List[Path]:
@@ -83,8 +91,22 @@ def iter_python_files(paths: Sequence[str]) -> List[Path]:
 def lint_paths(paths: Sequence[str],
                rules: Optional[Sequence[str]] = None) -> List[Finding]:
     """Lint every python file under ``paths``, plus the project-wide checks."""
+    findings, _ = lint_paths_counted(paths, rules=rules)
+    return findings
+
+
+def lint_paths_counted(paths: Sequence[str],
+                       rules: Optional[Sequence[str]] = None
+                       ) -> "tuple[List[Finding], Dict[str, int]]":
+    """Like :func:`lint_paths`, plus per-rule suppressed-finding counts.
+
+    The counts feed ``python -m repro.lint --stats`` so baseline burn-down
+    (how much debt hides behind ``# zl: ignore[...]`` lines) stays visible
+    in CI logs.
+    """
     from repro.lint.rules import check_project
     findings: List[Finding] = []
+    suppressed_counts: Dict[str, int] = {}
     files = iter_python_files(paths)
     sources: Dict[Path, str] = {}
     for path in files:
@@ -94,13 +116,15 @@ def lint_paths(paths: Sequence[str],
             findings.append(Finding("ZL000", str(path), 1,
                                     f"unreadable file: {exc}"))
     for path, source in sources.items():
-        findings.extend(lint_source(source, str(path), rules=rules))
+        findings.extend(lint_source(source, str(path), rules=rules,
+                                    suppressed_counts=suppressed_counts))
     if rules is None or {"ZL003", "ZL006", "ZL007", "ZL008"} & set(rules):
         project = check_project(sources, rules=rules)
         for finding in project:
             source = next((s for p, s in sources.items()
                            if str(p) == finding.path), "")
-            kept = apply_suppressions([finding], parse_suppressions(source))
+            kept = apply_suppressions([finding], parse_suppressions(source),
+                                      counts=suppressed_counts)
             findings.extend(kept)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings
+    return findings, suppressed_counts

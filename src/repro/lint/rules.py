@@ -83,12 +83,45 @@ def _is_timestamp_operand(node: ast.AST) -> bool:
     return name in _TIMESTAMP_EXACT or name.endswith(_TIMESTAMP_SUFFIXES)
 
 
+def _collect_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Import alias → canonical dotted prefix for one module.
+
+    ``import random as rnd`` maps ``rnd`` → ``random``; ``from time
+    import monotonic as _mono`` (and the un-aliased form) maps the bound
+    name → ``time.monotonic``.  ZL001/ZL002 expand call names through
+    this table so aliasing cannot launder a wall-clock read or a global
+    random draw past the dotted-name match.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def _expand_alias(dotted: str, aliases: Dict[str, str]) -> str:
+    head, _, rest = dotted.partition(".")
+    target = aliases.get(head)
+    if target is None:
+        return dotted
+    return target + ("." + rest if rest else "")
+
+
 class _FileVisitor(ast.NodeVisitor):
     """One pass collecting ZL001/ZL002/ZL004/ZL005 findings."""
 
-    def __init__(self, path: str, rules: Sequence[str]):
+    def __init__(self, path: str, rules: Sequence[str],
+                 aliases: Optional[Dict[str, str]] = None):
         self.path = path
         self.rules = set(rules)
+        self.aliases = aliases or {}
         self.findings: List[Finding] = []
 
     def _add(self, rule: str, node: ast.AST, message: str) -> None:
@@ -101,20 +134,23 @@ class _FileVisitor(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted_name(node.func)
         if dotted is not None:
+            # Expand through the module's import aliases so
+            # ``from time import monotonic as _mono; _mono()`` and
+            # ``import random as rnd; rnd.random()`` cannot evade the
+            # dotted-name match.
+            expanded = _expand_alias(dotted, self.aliases)
             for suffix in _WALL_CLOCK_CALLS:
-                if dotted == suffix or dotted.endswith("." + suffix):
+                if expanded == suffix or expanded.endswith("." + suffix):
                     self._add("ZL001", node,
                               f"wall-clock call {dotted}(); simulated code "
                               "must read Engine.now")
                     break
-        func = node.func
-        if (isinstance(func, ast.Attribute)
-                and isinstance(func.value, ast.Name)
-                and func.value.id == "random"
-                and func.attr not in _RANDOM_ALLOWED):
-            self._add("ZL002", node,
-                      f"module-level random.{func.attr}(); use a seeded "
-                      "repro.sim.rng.DeterministicRng")
+            parts = expanded.split(".")
+            if (len(parts) == 2 and parts[0] == "random"
+                    and parts[1] not in _RANDOM_ALLOWED):
+                self._add("ZL002", node,
+                          f"module-level random.{parts[1]}(); use a seeded "
+                          "repro.sim.rng.DeterministicRng")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -181,7 +217,7 @@ def check_file(source: str, path: str = "<string>",
     except SyntaxError as exc:
         return [Finding("ZL000", path, exc.lineno or 1,
                         f"syntax error: {exc.msg}")]
-    visitor = _FileVisitor(path, active)
+    visitor = _FileVisitor(path, active, aliases=_collect_aliases(tree))
     visitor.visit(tree)
     return visitor.findings
 

@@ -1,0 +1,393 @@
+"""Fixture tests for the three ZomFlow passes and the baseline ratchet.
+
+Each rule gets a clean and a violating fixture tree (built as in-memory
+``{path: source}`` dicts), including the two interprocedural shapes the
+single-file lint rules cannot see: a two-hop taint chain (ZL009) and a
+read-modify-write straddling an RPC yield (ZL010).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.flow import (analyze_sources, build_graph, check_atomicity,
+                        check_contracts, check_purity,
+                        diff_against_baseline, load_baseline,
+                        write_baseline)
+from repro.flow.__main__ import main as flow_main
+
+
+def _graph(sources):
+    return build_graph({Path(p): s for p, s in sources.items()})
+
+
+# -- ZL009: transitive sim-purity taint ---------------------------------------
+
+SERVICE_TWO_HOP = {
+    "fx/svc.py": (
+        "import time\n"
+        "class Service:\n"
+        "    def __init__(self, rpc):\n"
+        "        rpc.register('verb_x', self.handle)\n"
+        "    def handle(self):\n"
+        "        return self.helper()\n"
+        "    def helper(self):\n"
+        "        return stamp()\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    ),
+}
+
+
+class TestPurity:
+    def test_two_hop_taint_chain_reaches_handler(self):
+        findings = check_purity(_graph(SERVICE_TWO_HOP))
+        assert [f.rule for f in findings] == ["ZL009"]
+        finding = findings[0]
+        assert finding.line == 10
+        assert "Service.handle -> Service.helper -> stamp" in finding.message
+        assert "wall-clock" in finding.message
+
+    def test_source_outside_sim_context_is_clean(self):
+        sources = dict(SERVICE_TWO_HOP)
+        # Same impurity, but nothing registers the handler: not sim context.
+        sources["fx/svc.py"] = sources["fx/svc.py"].replace(
+            "        rpc.register('verb_x', self.handle)\n",
+            "        pass\n")
+        assert check_purity(_graph(sources)) == []
+
+    def test_alias_laundered_wall_clock_is_caught(self):
+        sources = {
+            "fx/svc.py": (
+                "from time import monotonic as _mono\n"
+                "class Service:\n"
+                "    def __init__(self, rpc):\n"
+                "        rpc.register('verb_x', self.handle)\n"
+                "    def handle(self):\n"
+                "        return _mono()\n"
+            ),
+        }
+        findings = check_purity(_graph(sources))
+        assert [f.rule for f in findings] == ["ZL009"]
+        assert "time.monotonic" in findings[0].message
+
+    def test_global_random_in_scheduled_callback(self):
+        sources = {
+            "fx/svc.py": (
+                "import random\n"
+                "class Sampler:\n"
+                "    def __init__(self, engine):\n"
+                "        engine.schedule(1.0, self.tick)\n"
+                "    def tick(self):\n"
+                "        return random.random()\n"
+            ),
+        }
+        findings = check_purity(_graph(sources))
+        assert [f.rule for f in findings] == ["ZL009"]
+        assert "global-random" in findings[0].message
+
+    def test_unordered_set_iteration_in_sim_context(self):
+        sources = {
+            "fx/svc.py": (
+                "class Service:\n"
+                "    def __init__(self, rpc):\n"
+                "        self.hosts = set()\n"
+                "        rpc.register('verb_x', self.handle)\n"
+                "    def handle(self):\n"
+                "        return [h for h in self.hosts]\n"
+            ),
+        }
+        findings = check_purity(_graph(sources))
+        assert [f.rule for f in findings] == ["ZL009"]
+        assert "unordered" in findings[0].message
+
+    def test_sorted_set_iteration_is_clean(self):
+        sources = {
+            "fx/svc.py": (
+                "class Service:\n"
+                "    def __init__(self, rpc):\n"
+                "        self.hosts = set()\n"
+                "        rpc.register('verb_x', self.handle)\n"
+                "    def handle(self):\n"
+                "        return [h for h in sorted(self.hosts)]\n"
+            ),
+        }
+        assert check_purity(_graph(sources)) == []
+
+    def test_seeded_rng_construction_is_clean(self):
+        sources = {
+            "fx/svc.py": (
+                "import random\n"
+                "class Service:\n"
+                "    def __init__(self, rpc):\n"
+                "        rpc.register('verb_x', self.handle)\n"
+                "    def handle(self):\n"
+                "        return random.Random(7).random()\n"
+            ),
+        }
+        assert check_purity(_graph(sources)) == []
+
+
+# -- ZL010: yield-point atomicity ---------------------------------------------
+
+def _controller_fixture(body):
+    return {
+        "fx/core/controller.py": (
+            "class Controller:\n"
+            "    def __init__(self, client):\n"
+            "        self.client = client\n"
+            "        self.db = {}\n"
+            "        self.fenced = False\n"
+            + body
+        ),
+    }
+
+
+class TestAtomicity:
+    def test_straddling_read_modify_write_fires(self):
+        sources = _controller_fixture(
+            "    def reclaim(self, host):\n"
+            "        victims = self.db.get(host)\n"
+            "        self.client.call('US_reclaim', victims)\n"
+            "        self.db.pop(host)\n"
+        )
+        findings = check_atomicity(_graph(sources))
+        assert [f.rule for f in findings] == ["ZL010"]
+        assert "leases" in findings[0].message
+        assert findings[0].fingerprint.endswith("Controller.reclaim:leases")
+
+    def test_revalidated_write_is_clean(self):
+        sources = _controller_fixture(
+            "    def reclaim(self, host):\n"
+            "        victims = self.db.get(host)\n"
+            "        self.client.call('US_reclaim', victims)\n"
+            "        if host not in self.db:\n"
+            "            return\n"
+            "        self.db.pop(host)\n"
+        )
+        assert check_atomicity(_graph(sources)) == []
+
+    def test_fencing_check_after_yield_is_clean(self):
+        sources = _controller_fixture(
+            "    def reclaim(self, host):\n"
+            "        victims = self.db.get(host)\n"
+            "        self.client.call('US_reclaim', victims)\n"
+            "        if self.fenced:\n"
+            "            raise RuntimeError('deposed')\n"
+            "        self.db.pop(host)\n"
+        )
+        assert check_atomicity(_graph(sources)) == []
+
+    def test_write_without_prior_read_is_clean(self):
+        sources = _controller_fixture(
+            "    def record(self, host, ids):\n"
+            "        self.client.call('US_reclaim', ids)\n"
+            "        self.db.pop(host)\n"
+        )
+        assert check_atomicity(_graph(sources)) == []
+
+    def test_yield_through_helper_rpc_is_seen(self):
+        # The RPC is two frames down; the yield must still be detected.
+        sources = _controller_fixture(
+            "    def reclaim(self, host):\n"
+            "        victims = self.db.get(host)\n"
+            "        self.notify(victims)\n"
+            "        self.db.pop(host)\n"
+            "    def notify(self, victims):\n"
+            "        self.forward(victims)\n"
+            "    def forward(self, victims):\n"
+            "        self.client.call('US_reclaim', victims)\n"
+        )
+        findings = check_atomicity(_graph(sources))
+        assert [f.fingerprint.split(":")[-2:] for f in findings] == [
+            ["Controller.reclaim", "leases"]]
+
+    def test_out_of_scope_module_is_ignored(self):
+        sources = {
+            "fx/cloud/pack.py": (
+                "class Packer:\n"
+                "    def __init__(self, client):\n"
+                "        self.client = client\n"
+                "        self.db = {}\n"
+                "    def go(self, host):\n"
+                "        v = self.db.get(host)\n"
+                "        self.client.call('x', v)\n"
+                "        self.db.pop(host)\n"
+            ),
+        }
+        assert check_atomicity(_graph(sources)) == []
+
+
+# -- ZL011: error-contract flow -----------------------------------------------
+
+ERRORS_FIXTURE = (
+    "class ReproError(Exception):\n    pass\n"
+    "class RdmaError(ReproError):\n    pass\n"
+    "class RpcError(RdmaError):\n    pass\n"
+    "class RpcTimeoutError(RpcError):\n    pass\n"
+    "class FencingError(ReproError):\n    pass\n"
+    "class DeclaredError(ReproError):\n    pass\n"
+    "class UndeclaredError(ReproError):\n    pass\n"
+)
+
+
+def _contract_fixture(raise_stmt, declared=("DeclaredError",)):
+    decl = ", ".join(f"'{d}'" for d in declared)
+    trailing = "," if len(declared) == 1 else ""
+    return {
+        "fx/errors.py": ERRORS_FIXTURE,
+        "fx/core/protocol.py": (
+            "class Method:\n"
+            "    DO_THING = 'do_thing'\n"
+            f"VERB_ERRORS = {{'do_thing': ({decl}{trailing})}}\n"
+        ),
+        "fx/core/server.py": (
+            "from fx.errors import DeclaredError, UndeclaredError\n"
+            "class Server:\n"
+            "    def __init__(self, rpc):\n"
+            "        rpc.register('do_thing', self.handle)\n"
+            "    def handle(self):\n"
+            "        return self.helper()\n"
+            "    def helper(self):\n"
+            f"        {raise_stmt}\n"
+        ),
+    }
+
+
+class TestContracts:
+    def test_undeclared_escape_fires_with_chain(self):
+        findings = check_contracts(
+            _graph(_contract_fixture("raise UndeclaredError('boom')")),
+            {Path(p): s for p, s in
+             _contract_fixture("raise UndeclaredError('boom')").items()})
+        assert [f.rule for f in findings] == ["ZL011"]
+        finding = findings[0]
+        assert finding.fingerprint == "ZL011:do_thing:UndeclaredError"
+        assert "Server.handle -> Server.helper" in finding.message
+        assert finding.path.endswith("server.py")
+
+    def test_declared_escape_is_clean(self):
+        sources = _contract_fixture("raise DeclaredError('boom')")
+        graph = _graph(sources)
+        assert check_contracts(
+            graph, {Path(p): s for p, s in sources.items()}) == []
+
+    def test_declared_base_class_covers_subclass(self):
+        sources = _contract_fixture("raise UndeclaredError('boom')",
+                                    declared=("ReproError",))
+        graph = _graph(sources)
+        assert check_contracts(
+            graph, {Path(p): s for p, s in sources.items()}) == []
+
+    def test_retryable_transport_family_is_implicitly_allowed(self):
+        sources = _contract_fixture("raise RpcTimeoutError('slow')",
+                                    declared=())
+        graph = _graph(sources)
+        assert check_contracts(
+            graph, {Path(p): s for p, s in sources.items()}) == []
+
+    def test_caught_exception_does_not_escape(self):
+        sources = _contract_fixture("raise UndeclaredError('boom')")
+        sources["fx/core/server.py"] = (
+            "from fx.errors import UndeclaredError\n"
+            "class Server:\n"
+            "    def __init__(self, rpc):\n"
+            "        rpc.register('do_thing', self.handle)\n"
+            "    def handle(self):\n"
+            "        try:\n"
+            "            return self.helper()\n"
+            "        except UndeclaredError:\n"
+            "            return None\n"
+            "    def helper(self):\n"
+            "        raise UndeclaredError('boom')\n"
+        )
+        graph = _graph(sources)
+        assert check_contracts(
+            graph, {Path(p): s for p, s in sources.items()}) == []
+
+    def test_catching_base_class_subtracts_subclass(self):
+        sources = _contract_fixture("raise UndeclaredError('boom')")
+        sources["fx/core/server.py"] = (
+            "from fx.errors import ReproError, UndeclaredError\n"
+            "class Server:\n"
+            "    def __init__(self, rpc):\n"
+            "        rpc.register('do_thing', self.handle)\n"
+            "    def handle(self):\n"
+            "        try:\n"
+            "            return self.helper()\n"
+            "        except ReproError:\n"
+            "            return None\n"
+            "    def helper(self):\n"
+            "        raise UndeclaredError('boom')\n"
+        )
+        graph = _graph(sources)
+        assert check_contracts(
+            graph, {Path(p): s for p, s in sources.items()}) == []
+
+    def test_missing_contract_literal_is_one_finding(self):
+        sources = _contract_fixture("raise DeclaredError('boom')")
+        sources["fx/core/protocol.py"] = (
+            "class Method:\n    DO_THING = 'do_thing'\n")
+        graph = _graph(sources)
+        findings = check_contracts(
+            graph, {Path(p): s for p, s in sources.items()})
+        assert [f.fingerprint for f in findings] == ["ZL011:missing-contract"]
+
+
+# -- suppressions, baseline, CLI ----------------------------------------------
+
+class TestSuppressionAndBaseline:
+    def test_line_scoped_suppression_silences_flow_rule(self):
+        sources = {Path(p): s for p, s in SERVICE_TWO_HOP.items()}
+        key = Path("fx/svc.py")
+        sources[key] = sources[key].replace(
+            "    return time.time()",
+            "    return time.time()  # zl: ignore[ZL009] boot stamp only")
+        assert analyze_sources(sources) == []
+
+    def test_baseline_ratchet_roundtrip(self, tmp_path):
+        sources = {Path(p): s for p, s in SERVICE_TWO_HOP.items()}
+        findings = analyze_sources(sources)
+        assert findings
+        baseline_path = tmp_path / "flow_baseline.json"
+        write_baseline(baseline_path, findings)
+        baseline = load_baseline(baseline_path)
+        new, baselined, burned = diff_against_baseline(findings, baseline)
+        assert new == [] and len(baselined) == len(findings) and burned == []
+        # A fixed finding shows up as burn-down debt.
+        new, baselined, burned = diff_against_baseline([], baseline)
+        assert burned == sorted(baseline)
+        # Baseline files are deterministic JSON with stable keys.
+        data = json.loads(baseline_path.read_text())
+        assert data["version"] == 1
+        assert set(data["findings"]) == {f.fingerprint for f in findings}
+
+    def test_cli_exit_codes(self, tmp_path):
+        tree = tmp_path / "fx"
+        (tree / "core").mkdir(parents=True)
+        (tree / "svc.py").write_text(SERVICE_TWO_HOP["fx/svc.py"])
+        baseline = tmp_path / "flow_baseline.json"
+        # New finding, no baseline: exit 1.
+        assert flow_main([str(tree), "--baseline", str(baseline)]) == 1
+        # Regen writes the baseline and exits 0; the next run is clean.
+        assert flow_main([str(tree), "--baseline", str(baseline),
+                          "--regen"]) == 0
+        assert flow_main([str(tree), "--baseline", str(baseline)]) == 0
+        # --no-baseline ignores the ratchet again.
+        assert flow_main([str(tree), "--baseline", str(baseline),
+                          "--no-baseline"]) == 1
+        # Usage errors exit 2 (argparse convention).
+        with pytest.raises(SystemExit) as excinfo:
+            flow_main([str(tree), "--rule", "ZL999"])
+        assert excinfo.value.code == 2
+
+    def test_cli_stats_lists_every_rule(self, tmp_path, capsys):
+        tree = tmp_path / "fx"
+        tree.mkdir()
+        (tree / "svc.py").write_text(SERVICE_TWO_HOP["fx/svc.py"])
+        baseline = tmp_path / "flow_baseline.json"
+        flow_main([str(tree), "--baseline", str(baseline), "--stats"])
+        out = capsys.readouterr().out
+        for rule in ("ZL009", "ZL010", "ZL011"):
+            assert rule in out

@@ -41,6 +41,64 @@ class TestZL001WallClock:
         assert _rules(lint_source(source)) == ["ZL001"]
 
 
+class TestImportAliasResolution:
+    """Aliased imports must not launder impurity past ZL001/ZL002."""
+
+    def test_from_import_alias_wall_clock(self):
+        source = (
+            "from time import monotonic as _mono\n"
+            "def stamp():\n"
+            "    return _mono()\n"
+        )
+        findings = lint_source(source)
+        assert _rules(findings) == ["ZL001"]
+        assert findings[0].line == 3
+
+    def test_plain_from_import_wall_clock(self):
+        source = (
+            "from time import perf_counter\n"
+            "t = perf_counter()\n"
+        )
+        assert _rules(lint_source(source)) == ["ZL001"]
+
+    def test_module_alias_wall_clock(self):
+        source = (
+            "import time as clk\n"
+            "t = clk.monotonic()\n"
+        )
+        assert _rules(lint_source(source)) == ["ZL001"]
+
+    def test_module_alias_random(self):
+        source = (
+            "import random as rnd\n"
+            "jitter = rnd.uniform(0, 1)\n"
+        )
+        findings = lint_source(source)
+        assert _rules(findings) == ["ZL002"]
+        assert "random.uniform" in findings[0].message
+
+    def test_datetime_module_alias(self):
+        source = (
+            "import datetime as dt\n"
+            "t = dt.datetime.now()\n"
+        )
+        assert _rules(lint_source(source)) == ["ZL001"]
+
+    def test_aliased_seeded_random_class_still_allowed(self):
+        source = (
+            "import random as rnd\n"
+            "r = rnd.Random(42)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_unrelated_alias_is_clean(self):
+        source = (
+            "import math as m\n"
+            "x = m.floor(1.5)\n"
+        )
+        assert lint_source(source) == []
+
+
 class TestZL002UnseededRandom:
     BAD_CALL = (
         "import random\n"
@@ -483,3 +541,28 @@ class TestDriver:
 
     def test_cli_list_rules(self):
         assert main(["--list-rules"]) == 0
+
+    def test_cli_stats_reports_suppression_counts(self, tmp_path, capsys):
+        src = tmp_path / "mod.py"
+        src.write_text(
+            "import time\n"
+            "boot = time.time()  # zl: ignore[ZL001] boot stamp only\n"
+            "t = time.time()\n"
+        )
+        assert main([str(src), "--stats"]) == 1
+        out = capsys.readouterr().out
+        stats_line = next(line for line in out.splitlines()
+                          if line.startswith("ZL001"))
+        # one surviving finding, one suppressed
+        assert stats_line.split() == ["ZL001", "1", "1"]
+
+    def test_lint_paths_counted_tallies_suppressions(self, tmp_path):
+        from repro.lint.engine import lint_paths_counted
+        src = tmp_path / "mod.py"
+        src.write_text(
+            "import time\n"
+            "boot = time.time()  # zl: ignore[ZL001] boot stamp only\n"
+        )
+        findings, suppressed = lint_paths_counted([str(src)])
+        assert findings == []
+        assert suppressed == {"ZL001": 1}
