@@ -28,7 +28,7 @@ from repro.energy.model import estimate_sz_fraction
 from repro.energy.profiles import MachineProfile, PowerConfig
 from repro.errors import ConfigurationError
 from repro.traces.schema import Task
-from repro.units import HOUR, KILOWATT_HOUR
+from repro.units import HOUR, joules_to_kwh, watts_x_seconds
 
 #: Packing headroom: a host is filled to this fraction of booked CPU.
 CPU_BOOKING_CEILING = 0.80
@@ -131,7 +131,7 @@ class PolicyEnergyResult:
 
     @property
     def kwh(self) -> float:
-        return self.joules / KILOWATT_HOUR
+        return joules_to_kwh(self.joules)
 
     @property
     def saving_pct(self) -> float:
@@ -194,15 +194,16 @@ def simulate_energy(tasks: List[Task], n_servers: int,
     for slot in slots:
         plan = plan_fn(slot, n_servers)
         watts = _slot_power(plan, profile)
-        joules += watts * slot.duration_s
+        joules += watts_x_seconds(watts, slot.duration_s)
         baseline = plan_baseline(slot, n_servers)
-        baseline_joules += _slot_power(baseline, profile) * slot.duration_s
+        baseline_joules += watts_x_seconds(_slot_power(baseline, profile),
+                                           slot.duration_s)
         active_sum += plan.active
         zombie_sum += plan.zombies
         memory_sum += plan.memory_servers
         suspended_sum += plan.suspended
-        ideal_joules += (slot.cpu_used * profile.max_power_watts
-                         * slot.duration_s)
+        ideal_joules += watts_x_seconds(
+            slot.cpu_used * profile.max_power_watts, slot.duration_s)
         mem_used_server_s += slot.mem_used * slot.duration_s
         remote = max(0.0, slot.mem_used - plan.active * MEM_CEILING)
         served = min(remote, plan.zombies * ZOMBIE_MEM_SERVED)

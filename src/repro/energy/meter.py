@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.errors import SimulationError
-from repro.units import KILOWATT_HOUR
+from repro.units import joules_to_kwh, watts_x_seconds
 
 
 class EnergyMeter:
@@ -52,7 +52,7 @@ class EnergyMeter:
 
     @property
     def kwh(self) -> float:
-        return self._joules / KILOWATT_HOUR
+        return joules_to_kwh(self._joules)
 
     def set_power(self, now: float, power_watts: float) -> None:
         """Report that power changed to ``power_watts`` at time ``now``."""
@@ -68,7 +68,7 @@ class EnergyMeter:
                 f"meter time went backwards: {now} < {self._last_time}"
             )
         if now > self._last_time:
-            delta = self._power * (now - self._last_time)
+            delta = watts_x_seconds(self._power, now - self._last_time)
             self._joules += delta
             if self._joules_counter is not None:
                 self._joules_counter.inc(delta)
@@ -79,9 +79,9 @@ class EnergyMeter:
         """Directly add a constant-power segment (timeline-free use)."""
         if duration_s < 0:
             raise SimulationError(f"negative duration {duration_s}")
-        self._joules += power_watts * duration_s
+        self._joules += watts_x_seconds(power_watts, duration_s)
         if self._joules_counter is not None:
-            self._joules_counter.inc(power_watts * duration_s)
+            self._joules_counter.inc(watts_x_seconds(power_watts, duration_s))
         end = self._last_time + duration_s
         self.segments.append((self._last_time, end, power_watts))
         self._last_time = end

@@ -33,7 +33,7 @@ from repro.energy.profiles import MachineProfile
 from repro.errors import ConfigurationError
 from repro.core.protocol import BufferKind
 from repro.sim.process import PeriodicProcess
-from repro.units import KILOWATT_HOUR, PAGE_SIZE
+from repro.units import joules_to_kwh, pages_to_bytes
 
 
 class RackEnergyMonitor:
@@ -113,7 +113,7 @@ class RackEnergyMonitor:
         for name, server in self.rack.servers.items():
             registry.gauge(
                 "host_memory_bytes", "Usable DRAM per host.", host=name
-            ).set(server.allocator.total_frames * PAGE_SIZE)
+            ).set(pages_to_bytes(server.allocator.total_frames))
             registry.gauge(
                 "stranded_bytes",
                 "Powered DRAM serving nobody (free S0 frames, "
@@ -143,7 +143,7 @@ class RackEnergyMonitor:
             out.append(HostSample(
                 name=name,
                 state=server.state.name,
-                capacity_bytes=server.allocator.total_frames * PAGE_SIZE,
+                capacity_bytes=pages_to_bytes(server.allocator.total_frames),
                 stranded_bytes=self._stranded_bytes(name, server, free_pool),
                 lent_bytes=float(server.manager.lent_bytes),
             ))
@@ -164,7 +164,7 @@ class RackEnergyMonitor:
         return sum(self.server_joules(name) for name in self.meters)
 
     def total_kwh(self) -> float:
-        return self.total_joules() / KILOWATT_HOUR
+        return joules_to_kwh(self.total_joules())
 
     def report(self) -> Dict[str, float]:
         """Per-server joules, up to the current engine time."""

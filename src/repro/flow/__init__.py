@@ -9,6 +9,12 @@ ZL009   transitive sim-purity taint (:mod:`repro.flow.purity`)
 ZL010   yield-point atomicity races (:mod:`repro.flow.atomicity`)
 ZL011   error-contract flow at verb boundaries
         (:mod:`repro.flow.contracts`)
+ZL012   dimension soundness over the units lattice
+        (:mod:`repro.flow.dimensions`)
+ZL013   sim-seconds vs wall-seconds time-domain separation
+        (:mod:`repro.flow.dimensions`)
+ZL014   metric unit contracts from name suffixes
+        (:mod:`repro.flow.dimensions`)
 ======  ==============================================================
 
 Findings carry a line-free *fingerprint* and are ratcheted against the
@@ -32,6 +38,7 @@ from repro.flow.baseline import (diff_against_baseline, load_baseline,
                                  write_baseline)
 from repro.flow.callgraph import CallGraph, build_graph
 from repro.flow.contracts import check_contracts
+from repro.flow.dimensions import check_dimensions
 from repro.flow.purity import check_purity
 from repro.flow.report import (ALL_FLOW_RULES, FLOW_RULE_DESCRIPTIONS,
                                FlowFinding, render_findings)
@@ -39,7 +46,8 @@ from repro.flow.report import (ALL_FLOW_RULES, FLOW_RULE_DESCRIPTIONS,
 __all__ = [
     "ALL_FLOW_RULES", "FLOW_RULE_DESCRIPTIONS", "FlowFinding", "CallGraph",
     "analyze_paths", "analyze_sources", "build_graph", "check_atomicity",
-    "check_contracts", "check_purity", "diff_against_baseline",
+    "check_contracts", "check_dimensions", "check_purity",
+    "diff_against_baseline",
     "load_baseline", "load_sources", "render_findings", "write_baseline",
 ]
 
@@ -78,6 +86,9 @@ def analyze_sources_counted(sources: Dict[Path, str],
         raw.extend(check_atomicity(graph))
     if "ZL011" in enabled:
         raw.extend(check_contracts(graph, sources))
+    if enabled & {"ZL012", "ZL013", "ZL014"}:
+        raw.extend(f for f in check_dimensions(graph, sources)
+                   if f.rule in enabled)
     suppression_maps = {str(p): parse_suppressions(s)
                         for p, s in sources.items()}
     kept: List[FlowFinding] = []

@@ -32,7 +32,7 @@ def _print_stats(findings: List[FlowFinding], new: List[FlowFinding],
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.flow",
-        description="ZomFlow interprocedural analyzer (ZL009-ZL011).",
+        description="ZomFlow interprocedural analyzer (ZL009-ZL014).",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to analyze")

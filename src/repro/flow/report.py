@@ -21,6 +21,16 @@ FLOW_RULE_DESCRIPTIONS: Dict[str, str] = {
     "ZL011": "error-contract flow: a raise site escapes a protocol verb "
              "handler's boundary without being declared in the verb's "
              "VERB_ERRORS contract (or the transport-retryable family)",
+    "ZL012": "dimension soundness: values carrying different physical "
+             "dimensions (bytes/pages/joules/watts/seconds/...) meet in "
+             "+/-/comparison, a call argument, an assignment or a return "
+             "whose declared dimension disagrees",
+    "ZL013": "time-domain separation: a simulated-clock timestamp "
+             "(engine.now) and a wall-clock value mix in arithmetic, or "
+             "a sim timestamp feeds a wall-clock API",
+    "ZL014": "metric unit contract: the dimension of a value passed to "
+             "inc()/set()/observe() contradicts the unit declared by the "
+             "metric's name suffix (_joules_total, _watts, _bytes, ...)",
 }
 
 ALL_FLOW_RULES = tuple(sorted(FLOW_RULE_DESCRIPTIONS))

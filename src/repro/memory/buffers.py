@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import BufferError_, RdmaError, SwapError
 from repro.rdma.fabric import RdmaNode
 from repro.rdma.verbs import QueuePair
-from repro.units import MICROSECOND, PAGE_SIZE
+from repro.units import MICROSECOND, PAGE_SIZE, pages_to_bytes
 
 #: Latency of serving a page from the local-storage backup (the slow path
 #: used after a reclaim left no remote slot for the page).  SSD-class.
@@ -262,7 +262,8 @@ class RemotePageStore:
             state = self._leases[buffer_id]
             if self.transfer_content:
                 data, elapsed = self.node.rdma_read_timed(
-                    state.qp, state.lease.rkey, slot * PAGE_SIZE, PAGE_SIZE
+                    state.qp, state.lease.rkey, pages_to_bytes(slot),
+                    PAGE_SIZE
                 )
             else:
                 data, elapsed = self._fast_verb(state, PAGE_SIZE, read=True)
@@ -302,7 +303,8 @@ class RemotePageStore:
             try:
                 if self.transfer_content:
                     elapsed = self.node.rdma_write_timed(
-                        state.qp, state.lease.rkey, slot * PAGE_SIZE, payload
+                        state.qp, state.lease.rkey, pages_to_bytes(slot),
+                        payload
                     )
                 else:
                     _, elapsed = self._fast_verb(state, len(payload),

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.obs.audit.grading import CALIBRATIONS, Calibration
 from repro.obs.audit.inputs import AuditInputs
-from repro.units import GiB, HOUR, KILOWATT_HOUR
+from repro.units import GiB, HOUR, bytes_to_gib, joules_to_kwh
 
 #: Normalized server units → bytes: one demand-trace server-unit of
 #: memory corresponds to one host's worth of DRAM.
@@ -122,7 +122,8 @@ class ZombieConversionAnalyzer(Analyzer):
             return None
         value = pool / lendable if lendable > 0 else 0.0
         return (value,
-                f"{pool / GiB:.2f} GiB of {lendable / GiB:.2f} GiB "
+                f"{bytes_to_gib(pool):.2f} GiB of "
+                f"{bytes_to_gib(lendable):.2f} GiB "
                 "lendable DRAM converted to the zombie pool",
                 {"zombie_pool_bytes": pool, "lendable_bytes": lendable})
 
@@ -156,8 +157,8 @@ class StrandedMemoryAnalyzer(Analyzer):
             detail[f"stranded_fraction[{host}]"] = fraction
             if fraction > worst_fraction:
                 worst_host, worst_fraction = host, fraction
-        summary = (f"{stranded_total / GiB:.2f} GiB of "
-                   f"{capacity_total / GiB:.2f} GiB powered DRAM is "
+        summary = (f"{bytes_to_gib(stranded_total):.2f} GiB of "
+                   f"{bytes_to_gib(capacity_total):.2f} GiB powered DRAM is "
                    f"stranded; worst host {worst_host!r} at "
                    f"{worst_fraction * 100:.0f}%")
         return value, summary, detail
@@ -213,7 +214,7 @@ class EnergyPerGBAnalyzer(Analyzer):
         if not inputs.has_series("dc_mem_used_server_seconds_total",
                                  **labels) or server_s <= 0 or joules <= 0:
             return None
-        gib_hours = server_s * (NOMINAL_SERVER_MEM_BYTES / GiB) / HOUR
+        gib_hours = server_s * bytes_to_gib(NOMINAL_SERVER_MEM_BYTES) / HOUR
         value = joules / gib_hours / 1e3
         detail = {"joules": joules, "served_gib_hours": gib_hours}
         baseline = inputs.value("dc_energy_joules_total",
@@ -287,8 +288,8 @@ class CostProjectionAnalyzer(Analyzer):
             return None
         saving_pct = (1.0 - joules / baseline) * 100.0
         hours = span_s / HOUR
-        annual_kwh = joules / KILOWATT_HOUR / hours * HOURS_PER_YEAR
-        baseline_kwh = baseline / KILOWATT_HOUR / hours * HOURS_PER_YEAR
+        annual_kwh = joules_to_kwh(joules) / hours * HOURS_PER_YEAR
+        baseline_kwh = joules_to_kwh(baseline) / hours * HOURS_PER_YEAR
         annual_usd = annual_kwh * USD_PER_KWH
         saving_usd = (baseline_kwh - annual_kwh) * USD_PER_KWH
         detail = {"saving_pct": saving_pct,

@@ -23,7 +23,7 @@ from repro.energy.model import estimate_sz_fraction, server_power_watts
 from repro.energy.profiles import PROFILES, MachineProfile
 from repro.obs.audit.analyzers import Dimension
 from repro.obs.audit.inputs import AuditInputs
-from repro.units import GiB, HOUR
+from repro.units import HOUR, bytes_to_gib
 
 
 @dataclass(frozen=True)
@@ -91,7 +91,7 @@ class StrandedHostCalculator(ImpactCalculator):
         rationale = (f"host {worst.name!r} holds "
                      f"{worst.stranded_fraction * 100:.0f}% stranded "
                      f"{'zombie ' if worst.state != 'S0' else ''}RAM "
-                     f"({worst.stranded_bytes / GiB:.2f} GiB)")
+                     f"({bytes_to_gib(worst.stranded_bytes):.2f} GiB)")
         return Recommendation(
             action=action, impact_j_per_hour=impact_j_h,
             dimension="stranded_memory", rationale=rationale,

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 
 from repro.obs.metrics import Histogram, MetricsRegistry, format_labels
 from repro.obs.tracing import Span, Tracer, span_forest_errors
+from repro.units import metric_unit
 
 _SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+(inf)?$"
@@ -50,6 +51,12 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
         if family.help:
             lines.append(f"# HELP {family.name} {family.help}")
         lines.append(f"# TYPE {family.name} {family.kind}")
+        unit = metric_unit(family.name)
+        if unit is not None:
+            # Derived from the ZL014 suffix contract (repro.units.
+            # METRIC_UNIT_SUFFIXES): the exporter and the static checker
+            # agree on what each metric carries by construction.
+            lines.append(f"# UNIT {family.name} {unit}")
         for key, child in family.series():
             labels = format_labels(key)
             if isinstance(child, Histogram):
@@ -78,7 +85,8 @@ def validate_prometheus_text(text: str) -> List[str]:
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
-        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+        if line.startswith("# HELP ") or line.startswith("# TYPE ") \
+                or line.startswith("# UNIT "):
             parts = line.split(None, 3)
             if len(parts) < 3:
                 problems.append(f"line {lineno}: malformed comment {line!r}")
@@ -88,6 +96,14 @@ def validate_prometheus_text(text: str) -> List[str]:
                         f"line {lineno}: unknown TYPE {parts[3]!r}"
                     )
                 typed[parts[2]] = parts[3]
+            elif parts[1] == "UNIT":
+                declared = metric_unit(parts[2])
+                stated = parts[3] if len(parts) > 3 else None
+                if stated != declared:
+                    problems.append(
+                        f"line {lineno}: UNIT {stated!r} disagrees with "
+                        f"the {parts[2]!r} suffix contract ({declared!r})"
+                    )
             continue
         if line.startswith("#"):
             problems.append(f"line {lineno}: unexpected comment {line!r}")

@@ -3,6 +3,17 @@
 All memory sizes are plain ``int`` bytes, all times are ``float`` seconds and
 all energies are ``float`` joules unless a name says otherwise.  Helper
 constants keep call sites readable (``4 * GiB`` instead of ``4294967296``).
+
+These conventions are *enforced*, not just documented: the ZomDim passes
+(``repro.flow.dimensions``, rules ZL012-ZL014, see ``docs/FLOWCHECK.md``)
+statically infer a dimension for every value from the declarative tables
+below (:data:`UNIT_DIMENSIONS`, :data:`UNIT_CONVERSIONS`,
+:data:`METRIC_UNIT_SUFFIXES`) plus naming conventions, and flag
+mixed-dimension arithmetic across the whole call graph.  Convert between
+dimensions only through the blessed helpers (:func:`bytes_to_gib`,
+:func:`pages_to_bytes`, :func:`joules_to_kwh`, :func:`watts_x_seconds`,
+:func:`pages`) so the analyzer sees one conversion point per dimension
+pair.
 """
 
 from __future__ import annotations
@@ -37,6 +48,57 @@ KILOWATT = 1e3
 #: 1 kWh in joules.
 KILOWATT_HOUR = 3.6e6
 
+# --- ZomDim declarative annotation tables -----------------------------------
+# Parsed statically by ``repro.flow.dimensions`` (keep them literal dicts of
+# strings).  A tree under analysis may ship its own ``units.py`` with these
+# names to override the defaults; this file is the source of truth for the
+# real tree.
+
+#: Dimension of each module-level constant above.
+UNIT_DIMENSIONS = {
+    "KiB": "bytes", "MiB": "bytes", "GiB": "bytes", "TiB": "bytes",
+    "PAGE_SIZE": "bytes", "DEFAULT_BUFF_SIZE": "bytes",
+    "NANOSECOND": "seconds", "MICROSECOND": "seconds",
+    "MILLISECOND": "seconds", "SECOND": "seconds", "MINUTE": "seconds",
+    "HOUR": "seconds", "DAY": "seconds",
+    "JOULE": "joules", "KILOWATT_HOUR": "joules",
+    "WATT": "watts", "KILOWATT": "watts",
+}
+
+#: Signatures of the blessed conversion helpers: name -> (parameter
+#: dimensions in order, return dimension).  ``None`` means unconstrained.
+UNIT_CONVERSIONS = {
+    "pages": (("bytes",), "pages"),
+    "buffers_for": (("bytes", "bytes"), None),
+    "bytes_to_gib": (("bytes",), "gib"),
+    "pages_to_bytes": (("pages",), "bytes"),
+    "joules_to_kwh": (("joules",), "kwh"),
+    "watts_x_seconds": (("watts", "seconds"), "joules"),
+    "fmt_size": (("bytes",), None),
+    "fmt_time": (("seconds",), None),
+}
+
+#: Metric-name suffix -> dimension of every value fed to the instrument
+#: (ZL014 unit contracts; longest suffix wins).  The Prometheus exporter
+#: derives ``# UNIT`` metadata from the same table.
+METRIC_UNIT_SUFFIXES = {
+    "_joules_total": "joules", "_joules": "joules",
+    "_watts": "watts",
+    "_bytes_total": "bytes", "_bytes": "bytes",
+    "_seconds_total": "seconds", "_seconds": "seconds",
+    "_pages_total": "pages", "_pages": "pages",
+    "_pct": "fraction",
+    "_usd": "dollars",
+}
+
+
+def metric_unit(name: str) -> str | None:
+    """The declared unit of a metric name, from its suffix (or ``None``)."""
+    for suffix in sorted(METRIC_UNIT_SUFFIXES, key=len, reverse=True):
+        if name.endswith(suffix):
+            return METRIC_UNIT_SUFFIXES[suffix]
+    return None
+
 
 def pages(size_bytes: int) -> int:
     """Number of :data:`PAGE_SIZE` pages needed to hold ``size_bytes``.
@@ -55,6 +117,26 @@ def buffers_for(size_bytes: int, buff_size: int = DEFAULT_BUFF_SIZE) -> int:
     if size_bytes < 0:
         raise ValueError(f"size must be non-negative, got {size_bytes}")
     return (size_bytes + buff_size - 1) // buff_size
+
+
+def bytes_to_gib(size_bytes: float) -> float:
+    """Convert a byte count to GiB."""
+    return size_bytes / GiB
+
+
+def pages_to_bytes(page_count: int) -> int:
+    """Size in bytes of ``page_count`` whole :data:`PAGE_SIZE` pages."""
+    return page_count * PAGE_SIZE
+
+
+def joules_to_kwh(energy_joules: float) -> float:
+    """Convert an energy in joules to kilowatt-hours."""
+    return energy_joules / KILOWATT_HOUR
+
+
+def watts_x_seconds(power_watts: float, duration_s: float) -> float:
+    """Energy in joules of ``power_watts`` sustained for ``duration_s``."""
+    return power_watts * duration_s
 
 
 def fmt_size(size_bytes: float) -> str:

@@ -94,6 +94,57 @@ class TestInjectedDefects:
         assert fp in _fingerprints(patched, rules=["ZL011"])
 
 
+class TestUnitMutations:
+    """ZomDim acceptance: the two seeded unit mutations from the issue
+    (watts-for-joules in the meter, dropped PAGE_SIZE conversion in the
+    rack monitor) must be detected with a full inference chain naming
+    source and sink."""
+
+    def test_watts_for_joules_swap_in_meter_fires_zl012(self,
+                                                        real_sources):
+        fp = ("ZL012:repro.energy.meter:"
+              "EnergyMeter.accumulate:aug:joules:watts")
+        assert fp not in _fingerprints(real_sources, rules=["ZL012"])
+        patched = _unfix(
+            real_sources, "energy/meter.py",
+            "self._joules += watts_x_seconds(power_watts, duration_s)",
+            "self._joules += power_watts")
+        findings = [f for f in analyze_sources(patched, rules=["ZL012"])
+                    if f.fingerprint == fp]
+        assert len(findings) == 1
+        # Full inference chain: sink (the joules accumulator) and source
+        # (the watts parameter) both named.
+        assert "'._joules'" in findings[0].message
+        assert "parameter 'power_watts'" in findings[0].message
+
+    def test_dropped_page_size_conversion_fires_zl014(self, real_sources):
+        fp = ("ZL014:repro.energy.rack_monitor:"
+              "RackEnergyMonitor._publish_memory_gauges:"
+              "host_memory_bytes:frames")
+        assert fp not in _fingerprints(real_sources, rules=["ZL014"])
+        patched = _unfix(
+            real_sources, "energy/rack_monitor.py",
+            ").set(pages_to_bytes(server.allocator.total_frames))",
+            ").set(server.allocator.total_frames)")
+        findings = [f for f in analyze_sources(patched, rules=["ZL014"])
+                    if f.fingerprint == fp]
+        assert len(findings) == 1
+        assert "host_memory_bytes" in findings[0].message
+        assert "'.total_frames'" in findings[0].message
+
+    def test_dropped_conversion_in_host_samples_fires_zl012(self,
+                                                            real_sources):
+        fp = ("ZL012:repro.energy.rack_monitor:"
+              "RackEnergyMonitor.host_samples:"
+              "kwarg:capacity_bytes:bytes:frames")
+        assert fp not in _fingerprints(real_sources, rules=["ZL012"])
+        patched = _unfix(
+            real_sources, "energy/rack_monitor.py",
+            "capacity_bytes=pages_to_bytes(server.allocator.total_frames)",
+            "capacity_bytes=server.allocator.total_frames")
+        assert fp in _fingerprints(patched, rules=["ZL012"])
+
+
 class TestBaselineParity:
     def test_checked_in_baseline_matches_pristine_tree(self, real_sources):
         baseline = load_baseline(Path("flow_baseline.json"))
@@ -109,6 +160,15 @@ class TestBaselineParity:
         # silently.
         baseline = load_baseline(Path("flow_baseline.json"))
         assert not [fp for fp in baseline if fp.startswith("ZL009")]
+
+    def test_tree_is_dimensionally_clean(self, real_sources):
+        # ZomDim found no real unit bugs left standing, and none may be
+        # baselined as debt: the energy model is dimension-sound.
+        assert _fingerprints(real_sources,
+                             rules=["ZL012", "ZL013", "ZL014"]) == set()
+        baseline = load_baseline(Path("flow_baseline.json"))
+        assert not [fp for fp in baseline
+                    if fp.startswith(("ZL012", "ZL013", "ZL014"))]
 
 
 class TestRuleTableCoherence:

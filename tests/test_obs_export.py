@@ -43,6 +43,21 @@ class TestPrometheusExport:
         assert 'le="+Inf"} 2' in text
         assert 'rpc_call_seconds_count{verb="GS_wake"} 2' in text
 
+    def test_unit_metadata_derived_from_suffix_contract(self):
+        # The exporter and ZL014 share repro.units.METRIC_UNIT_SUFFIXES:
+        # every suffixed family gets a # UNIT line, unsuffixed ones none.
+        text = to_prometheus_text(_populated_hub().registry)
+        assert "# UNIT rpc_call_seconds seconds" in text
+        assert "# UNIT zombie_hosts" not in text
+        assert validate_prometheus_text(text) == []
+
+    def test_validator_rejects_wrong_unit_metadata(self):
+        text = to_prometheus_text(_populated_hub().registry)
+        bad = text.replace("# UNIT rpc_call_seconds seconds",
+                           "# UNIT rpc_call_seconds joules")
+        problems = validate_prometheus_text(bad)
+        assert any("suffix contract" in p for p in problems)
+
     def test_validator_catches_regressions(self):
         assert validate_prometheus_text("") == ["no samples at all"]
         problems = validate_prometheus_text("rogue_metric 1\n")

@@ -56,6 +56,44 @@ class TestBuffersFor:
             units.buffers_for(-5)
 
 
+class TestConversions:
+    def test_bytes_to_gib(self):
+        assert units.bytes_to_gib(2 * units.GiB) == 2.0
+        assert units.bytes_to_gib(units.GiB // 2) == 0.5
+
+    def test_pages_to_bytes(self):
+        assert units.pages_to_bytes(0) == 0
+        assert units.pages_to_bytes(3) == 3 * units.PAGE_SIZE
+
+    def test_pages_roundtrip(self):
+        assert units.pages(units.pages_to_bytes(17)) == 17
+
+    def test_joules_to_kwh(self):
+        assert units.joules_to_kwh(units.KILOWATT_HOUR) == 1.0
+        assert units.joules_to_kwh(0.0) == 0.0
+
+    def test_watts_x_seconds(self):
+        assert units.watts_x_seconds(100.0, 3600.0) == 360000.0
+        assert units.watts_x_seconds(0.0, 5.0) == 0.0
+
+
+class TestMetricUnit:
+    def test_longest_suffix_wins(self):
+        assert units.metric_unit("dc_energy_joules_total") == "joules"
+        assert units.metric_unit("host_power_watts") == "watts"
+        assert units.metric_unit("host_memory_bytes") == "bytes"
+        assert units.metric_unit("req_latency_seconds") == "seconds"
+
+    def test_unsuffixed_metric_has_no_unit(self):
+        assert units.metric_unit("dc_mean_servers") is None
+        assert units.metric_unit("events_total") is None
+
+    def test_tables_agree_with_constants(self):
+        for name, dim in units.UNIT_DIMENSIONS.items():
+            assert hasattr(units, name), name
+            assert dim in ("bytes", "seconds", "joules", "watts")
+
+
 class TestFormatting:
     def test_fmt_size_gib(self):
         assert units.fmt_size(6 * units.GiB) == "6.0 GiB"
