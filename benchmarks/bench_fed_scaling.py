@@ -1,0 +1,140 @@
+"""Federation scaling: throughput and cross-rack borrow rate vs rack count.
+
+One fixed allocation storm — a single tenant draining its home rack far
+past one rack's zombie pool — replayed against federations of 1, 2 and
+4 racks.  With one rack the storm hits the wall (no donors, the dry
+allocation surfaces); with two the home rack borrows from its peer;
+with four the borrows spread across three donors and more of the storm
+is served.  All reported values are *simulated* units derived from the
+MetricsRegistry, so the checked-in baseline is machine-independent.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.errors import AllocationError
+from repro.fed import Federation
+from repro.obs import Telemetry
+from repro.units import MiB
+
+RACK_COUNTS = (1, 2, 4)
+#: 40 rounds x 4 buffers = 160 buffers demanded — roughly 1.7x one
+#: rack's total capacity (2 zombie hosts + intra-rack growth), so the
+#: storm provably crosses into cross-rack lending when donors exist.
+STORM_ROUNDS = 40
+BUFFERS_PER_ROUND = 4
+BUFF_SIZE = 16 * MiB
+
+
+def _sum_family(snapshot, family):
+    return sum(value for key, value in snapshot.items()
+               if key.split("{", 1)[0] == family)
+
+
+def _run_storm(n_racks):
+    """Drive the fixed storm; returns registry-derived simulated values."""
+    tel = Telemetry(enabled=True)
+    fed = Federation(n_racks=n_racks, hosts_per_rack=3,
+                     memory_bytes=512 * MiB, buff_size=BUFF_SIZE,
+                     rng_seed=0, telemetry=tel)
+    for rack in fed.rack_names:
+        fed.make_zombie(f"{rack}/h2")
+        fed.make_zombie(f"{rack}/h3")
+    tenant = "rack1/h1"
+    granted = 0
+    dry = 0
+    for _ in range(STORM_ROUNDS):
+        try:
+            descs = fed.gateway.alloc_ext(
+                tenant, BUFFERS_PER_ROUND * BUFF_SIZE)
+        except AllocationError:
+            dry += 1
+            break
+        granted += len(descs)
+    snapshot = tel.registry.snapshot()
+    # Simulated time spent inside RPCs (the cost model accrues into the
+    # call histogram; the engine clock only moves under engine.run).
+    sim_seconds = _sum_family(snapshot, "rpc_call_seconds_sum")
+    served = _sum_family(snapshot, "rpc_served_total")
+    borrows = _sum_family(snapshot, "fed_borrows_total")
+    return {
+        "buffers_granted": float(granted),
+        "dry_failures": float(dry),
+        "verbs_served": served,
+        "sim_seconds": sim_seconds,
+        "throughput_verbs_per_s": served / sim_seconds,
+        "cross_rack_borrows": borrows,
+        "borrow_rate_per_s": borrows / sim_seconds,
+        "cross_rack_joules": fed.fabric.cross_rack_joules,
+        "lending_triggers": float(fed.gateway.lending_triggers),
+    }
+
+
+def _fed_scaling_snapshot():
+    return {f"racks={n}/{metric}": value
+            for n in RACK_COUNTS
+            for metric, value in _run_storm(n).items()}
+
+
+def test_fed_scaling(benchmark):
+    data = benchmark.pedantic(
+        lambda: {n: _run_storm(n) for n in RACK_COUNTS},
+        rounds=1, iterations=1)
+
+    metrics = ("buffers_granted", "throughput_verbs_per_s",
+               "cross_rack_borrows", "borrow_rate_per_s",
+               "cross_rack_joules")
+    rows = [[f"racks={n}"] + [f"{data[n][m]:.4g}" for m in metrics]
+            for n in RACK_COUNTS]
+    print_table("Federation scaling — fixed allocation storm",
+                ["federation"] + list(metrics), rows)
+
+    # One rack has no donors: the storm goes dry with zero borrows and
+    # zero inter-rack energy.
+    assert data[1]["cross_rack_borrows"] == 0
+    assert data[1]["cross_rack_joules"] == 0
+    assert data[1]["dry_failures"] == 1
+    # With donors the storm is absorbed by cross-rack lending.
+    for n in (2, 4):
+        assert data[n]["cross_rack_borrows"] > 0
+        assert data[n]["cross_rack_joules"] > 0
+        assert data[n]["buffers_granted"] > data[1]["buffers_granted"]
+    # More racks, more spare zombie pool: granted capacity is monotone
+    # in rack count, and the cross-rack traffic is real work, not noise.
+    assert (data[4]["buffers_granted"] >= data[2]["buffers_granted"])
+    for n in RACK_COUNTS:
+        assert data[n]["throughput_verbs_per_s"] > 0
+
+
+# -- checked-in baseline -----------------------------------------------------
+#
+# The storm is deterministic in simulated units (fixed seed, fixed
+# demand), so its registry-derived throughput and borrow rate are pinned
+# the same way BENCH_micro_ops.json pins the micro-op costs.  Refresh
+# after an intentional change with:
+#   BENCH_REGEN=1 pytest benchmarks/bench_fed_scaling.py
+
+BASELINE_PATH = Path(__file__).with_name("BENCH_fed_scaling.json")
+#: Generous: real scaling regressions worth catching are way past 25 %.
+BASELINE_TOLERANCE = 0.25
+
+
+def test_fed_scaling_matches_checked_in_baseline():
+    current = _fed_scaling_snapshot()
+    if os.environ.get("BENCH_REGEN"):
+        BASELINE_PATH.write_text(json.dumps(current, indent=2,
+                                            sort_keys=True) + "\n")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    missing = sorted(set(baseline) - set(current))
+    assert not missing, f"baseline metrics no longer emitted: {missing}"
+    appeared = sorted(set(current) - set(baseline))
+    assert not appeared, (
+        f"new metrics not in the baseline (BENCH_REGEN=1 to accept): "
+        f"{appeared}")
+    off = {key: (want, current[key]) for key, want in baseline.items()
+           if abs(current[key] - want) >
+           BASELINE_TOLERANCE * max(abs(want), 1e-12)}
+    assert not off, f"federation scaling drifted past ±25%: {off}"

@@ -62,12 +62,20 @@ def main(argv=None) -> int:
 
     bounds = BOUNDS[args.bound]
     model = ProtocolModel(bounds, mutant=args.mutant)
+    contract_errors = model.verb_contract_errors()
+    if contract_errors:
+        print("verb-contract drift — the model checker would be unsound:",
+              file=sys.stderr)
+        for error in contract_errors:
+            print(f"  {error}", file=sys.stderr)
+        return 2
     explorer = Explorer(model, por=not args.no_por,
                         max_states=args.max_states)
     label = args.bound if args.mutant is None \
         else f"{args.bound} + mutant {args.mutant!r}"
     print(f"zomcheck: exploring bound {label} "
-          f"({bounds.hosts} hosts, {bounds.buffers_per_host} buffer(s)/host, "
+          f"({bounds.hosts} hosts in {bounds.racks} rack(s), "
+          f"{bounds.buffers_per_host} buffer(s)/host, "
           f"{bounds.max_faults} fault(s))")
     started = time.perf_counter()  # zl: ignore[ZL001]
     result = explorer.run()

@@ -51,6 +51,8 @@ from repro.check.invariants import ShadowState
 RPC_ACTION_VERBS = (
     "AS_get_free_mem",
     "AS_resync",
+    "FED_borrow",
+    "FED_return",
     "GS_alloc_ext",
     "GS_alloc_swap",
     "GS_get_lru_zombie",
@@ -87,6 +89,8 @@ _DUP_CLASSES = {
     "GS_wake": "idempotent",
     "GS_report_failure": "idempotent",
     "AS_resync": "idempotent",
+    "FED_borrow": "dedup_required",
+    "FED_return": "dedup_required",
 }
 
 S0 = "S0"
@@ -95,7 +99,7 @@ SZ = "Sz"
 
 @dataclass(frozen=True)
 class Bounds:
-    """One bounded configuration: hosts, buffers and fault budget."""
+    """One bounded configuration: hosts, buffers, racks and fault budget."""
 
     name: str
     hosts: int = 3
@@ -104,6 +108,10 @@ class Bounds:
     max_leases_per_user: int = 2
     #: Explorer stops (cleanly, marked incomplete) past this many states.
     max_states: int = 200_000
+    #: Hosts are split into this many contiguous racks; with 2+ racks the
+    #: cross-rack ``FED_borrow``/``FED_return`` actions become enabled and
+    #: the fencing/epoch invariants are checked across rack boundaries.
+    racks: int = 1
 
     def host_names(self) -> Tuple[str, ...]:
         return tuple(f"h{i + 1}" for i in range(self.hosts))
@@ -114,6 +122,13 @@ class Bounds:
 
     def owner_of(self, bid: int) -> int:
         return (bid - 1) // self.buffers_per_host
+
+    def rack_of(self, host: int) -> int:
+        """Contiguous host→rack mapping (``h1..hk`` fill rack 0 first)."""
+        return host * self.racks // self.hosts
+
+    def rack_name(self, host: int) -> str:
+        return f"r{self.rack_of(host) + 1}"
 
 
 #: Named configurations.  ``tiny`` is for unit tests (sub-second);
@@ -127,6 +142,12 @@ BOUNDS: Dict[str, Bounds] = {
                     max_leases_per_user=1, max_states=150_000),
     "medium": Bounds("medium", hosts=3, buffers_per_host=1, max_faults=2,
                      max_leases_per_user=2, max_states=2_000_000),
+    # 2-rack federation bound: h1/h2 in rack r1, h3 in rack r2, with the
+    # cross-rack FED_borrow/FED_return actions enabled so fencing/epoch
+    # invariants are checked across the rack boundary (the CI gate for
+    # ZomFed; must drain completely).
+    "fed": Bounds("fed", hosts=3, buffers_per_host=1, max_faults=1,
+                  max_leases_per_user=1, max_states=600_000, racks=2),
 }
 
 
@@ -470,6 +491,33 @@ class ProtocolModel:
                                 apply=lambda st=st, i=i, j=j:
                                     self._transfer(st, i, j),
                             ))
+            # FED_borrow / FED_return: cross-rack lending (only meaningful
+            # with 2+ racks).  Borrow grants a free buffer served by a
+            # *foreign-rack* host to this user via an epoch-stamped import
+            # delivery; return releases a fed-purpose lease.
+            if b.racks >= 2 and st.power[i] == S0 and st.reach[i]:
+                foreign = {x for x, rec in db.items()
+                           if b.rack_of(rec[0]) != b.rack_of(i)}
+                if (len(st.leases[i]) < b.max_leases_per_user
+                        and any(db[x][2] is None for x in foreign)):
+                    acts.append(Action(
+                        name=f"FED_borrow({hn})", kind="FED_borrow",
+                        verbs=("FED_borrow", "mirror_op"),
+                        footprint=frozenset({("ctrl",), ("h", i)}
+                                            | {("b", x) for x in foreign}),
+                        apply=lambda st=st, i=i: self._fed_borrow(st, i),
+                    ))
+                fed_mine = sorted(x for x in st.leases[i]
+                                  if x in db and db[x][2] == i
+                                  and db[x][3] == "fed")
+                if fed_mine:
+                    acts.append(Action(
+                        name=f"FED_return({hn})", kind="FED_return",
+                        verbs=("FED_return", "mirror_op"),
+                        footprint=frozenset({("ctrl",), ("h", i),
+                                             ("b", fed_mine[0])}),
+                        apply=lambda st=st, i=i: self._fed_return(st, i),
+                    ))
             # GS_report_failure: an unreachable host is declared lost and
             # its buffers invalidated rack-wide (atomic in the model).
             if not st.reach[i] and i not in st.lost:
@@ -628,6 +676,10 @@ class ProtocolModel:
             return self._declare_lost(st, args[0])
         if base == "AS_resync":
             return self._resync_flush(st, args[0])
+        if base == "FED_borrow":
+            return self._fed_borrow(st, args[0])
+        if base == "FED_return":
+            return self._fed_return(st, args[0])
         raise ValueError(f"no dup semantics for action {name!r}")
 
     def _dup(self, act: Action, cls: str):
@@ -667,6 +719,29 @@ class ProtocolModel:
                 return action
         return None
 
+    def verb_contract_errors(self) -> List[str]:
+        """Drift between :data:`RPC_ACTION_VERBS` and the action set.
+
+        Each message carries the configured host/rack layout so a
+        counterexample replayed from a multi-rack bound is attributable
+        to the right rack.
+        """
+        declared = set(RPC_ACTION_VERBS)
+        emitted = self.action_verbs()
+        layout = (f"bound {self.bounds.name!r}: {self.bounds.hosts} hosts "
+                  f"in {self.bounds.racks} rack(s)")
+        errors = [
+            f"model action verb {verb!r} is absent from the "
+            f"RPC_ACTION_VERBS contract ({layout})"
+            for verb in sorted(emitted - declared)
+        ]
+        errors += [
+            f"RPC_ACTION_VERBS contract verb {verb!r} is never emitted "
+            f"by any model action ({layout})"
+            for verb in sorted(declared - emitted)
+        ]
+        return errors
+
     def action_verbs(self) -> FrozenSet[str]:
         """Union of verbs over every action the model can ever emit."""
         verbs = set()
@@ -681,6 +756,8 @@ class ProtocolModel:
             ("GS_report_failure", "US_invalidate", "mirror_op"),
             ("heartbeat", "AS_resync"),
             ("GS_get_lru_zombie",),
+            ("FED_borrow", "mirror_op"),
+            ("FED_return", "mirror_op"),
         ):
             verbs.update(purpose_verbs)
         return frozenset(verbs)
@@ -855,6 +932,35 @@ class ProtocolModel:
         w.db[bid] = (host, kind, j, purpose)
         w.mleases(i).discard(bid)
         w.mleases(j).add(bid)
+        return self._done(w)
+
+    def _fed_borrow(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        cands = [(kind != "zombie", bid)
+                 for bid, (host, kind, user, _) in w.db.items()
+                 if self.bounds.rack_of(host) != self.bounds.rack_of(i)
+                 and user is None]
+        if not cands:
+            return None, ()
+        bid = min(cands)[1]
+        # The lending agent delivers the imported grant to the borrower
+        # under the current epoch — the cross-rack fencing check.
+        if not self._dispatch(w, i):
+            return None, ()
+        self._grant(w, bid, i, "fed")
+        return self._done(w)
+
+    def _fed_return(self, st: State, i: int):
+        w = _W(st, self.bounds)
+        fed_mine = sorted(x for x in w.leases[i]
+                          if x in w.db and w.db[x][2] == i
+                          and w.db[x][3] == "fed")
+        if not fed_mine:
+            return None, ()
+        bid = fed_mine[0]
+        host, kind, _, _ = w.db[bid]
+        w.db[bid] = (host, kind, None, None)
+        self._revoke_lease(w, bid, i)
         return self._done(w)
 
     def _declare_lost(self, st: State, i: int):

@@ -109,6 +109,14 @@ class GlobalMemoryController:
                  traced(Method.GS_REPORT_FAILURE.value,
                         self._guard(self.gs_report_failure),
                         idempotency="idempotent"))
+        register(Method.FED_BORROW.value,
+                 traced(Method.FED_BORROW.value,
+                        self._guard(self.fed_borrow),
+                        idempotency="dedup_required"))
+        register(Method.FED_RETURN.value,
+                 traced(Method.FED_RETURN.value,
+                        self._guard(self.fed_return),
+                        idempotency="dedup_required"))
         # Heartbeat stays unguarded: monitors may still probe a fenced
         # (deposed) controller without tripping FencingError.
         register(Method.HEARTBEAT.value,
@@ -378,6 +386,119 @@ class GlobalMemoryController:
         self._flush_journal(mark)
         self.events.emit(EventKind.BUFFERS_TRANSFERRED, new_user,
                          from_host=old_user, count=len(buffer_ids))
+
+    # -- cross-rack federation (ZomFed) -----------------------------------
+    def fed_borrow(self, borrower: str,
+                   nb_buffers: int) -> List[BufferDescriptor]:
+        """Lend free zombie-pool buffers to a peer rack (``FED_borrow``).
+
+        Only unallocated buffers served by *zombie* hosts are eligible:
+        cross-rack lending exports memory that is otherwise idle and
+        never competes with this rack's active-tier pool.  Grants up to
+        ``nb_buffers`` (the loan is recorded under purpose ``"fed"`` so
+        the borrower is revocable like any swap user); an empty pool
+        raises :class:`AllocationError`, which is the borrower's signal
+        to mark this rack dry in its federation directory.
+        """
+        mark = len(self.db.journal)
+        eligible = [b for b in self.db.free_buffers(zombie_first=True)
+                    if b.kind is BufferKind.ZOMBIE]
+        if not eligible or nb_buffers <= 0:
+            raise AllocationError(
+                f"{self.node.name}: no free zombie buffer to lend to "
+                f"{borrower!r}"
+            )
+        granted = []
+        for descriptor in eligible[:nb_buffers]:
+            granted.append(self.db.assign(descriptor.buffer_id, borrower))
+            self.allocation_purpose[descriptor.buffer_id] = "fed"
+        self._flush_journal(mark)
+        self.events.emit(EventKind.FED_LENT, borrower, count=len(granted))
+        tel = self.node.fabric.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "fed_loans_total", "Cross-rack buffer loans, by direction.",
+                direction="lent").inc(len(granted))
+        return granted
+
+    def fed_return(self, borrower: str, buffer_ids: List[int]) -> int:
+        """A peer rack returns borrowed buffers (``FED_return``).
+
+        Buffers the lender already took back (a waking host's reclaim
+        revoked the loan) are skipped — the return is then a no-op for
+        them, which is what makes retried/duplicated returns converge.
+        Returns the number of buffers actually freed.
+        """
+        mark = len(self.db.journal)
+        freed = 0
+        for buffer_id in buffer_ids:
+            if buffer_id not in self.db:
+                continue
+            descriptor = self.db.get(buffer_id)
+            if descriptor.user != borrower:
+                raise ControllerError(
+                    f"{borrower} returns buffer {buffer_id} lent to "
+                    f"{descriptor.user!r}"
+                )
+            self.db.unassign(buffer_id)
+            self.allocation_purpose.pop(buffer_id, None)
+            freed += 1
+        self._flush_journal(mark)
+        self.events.emit(EventKind.FED_RETURNED, borrower, count=freed)
+        tel = self.node.fabric.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "fed_loans_total", "Cross-rack buffer loans, by direction.",
+                direction="returned").inc(freed)
+        return freed
+
+    def fed_import(self, descriptors: List[BufferDescriptor]) -> None:
+        """Adopt buffers borrowed *from* a peer rack into this pool.
+
+        The borrower-side half of a loan: the imported records keep the
+        donor's serving-host names (one-sided verbs address those hosts
+        directly over the shared fabric) and arrive zombie-kind and
+        unallocated, so the local allocation engine hands them out with
+        normal zombie-first priority.  Journaled like any mutation, so
+        the secondary mirrors the imported pool too.
+        """
+        mark = len(self.db.journal)
+        imported = 0
+        for descriptor in descriptors:
+            if descriptor.buffer_id in self.db:
+                continue  # duplicate delivery of the same loan
+            self.db.add(descriptor.with_kind(BufferKind.ZOMBIE)
+                        .with_user(None))
+            imported += 1
+        self._flush_journal(mark)
+        if imported:
+            self.events.emit(EventKind.FED_IMPORTED, self.node.name,
+                             count=imported)
+
+    def fed_recall(self, buffer_ids: List[int]) -> List[int]:
+        """Drop borrowed buffers the donor rack has recalled.
+
+        Buffers currently allocated to local users are revoked first
+        (``US_reclaim``, the same path a waking host's reclaim takes),
+        then the records are removed.  The revocation round trips are
+        yield points: re-validate against the database before removing
+        (ZL010).  Returns the buffer ids actually dropped.
+        """
+        mark = len(self.db.journal)
+        present = [self.db.get(b) for b in buffer_ids if b in self.db]
+        self._revoke([d for d in present if d.allocated])
+        dropped = []
+        for descriptor in present:
+            if descriptor.buffer_id not in self.db:
+                continue
+            self.db.remove(descriptor.buffer_id)
+            self.allocation_purpose.pop(descriptor.buffer_id, None)
+            dropped.append(descriptor.buffer_id)
+        self._flush_journal(mark)
+        if dropped:
+            self.events.emit(EventKind.FED_RECALLED, self.node.name,
+                             count=len(dropped))
+        return dropped
 
     # -- allocation engine ------------------------------------------------
     def _allocate(self, user: str, nb: int, purpose: str,

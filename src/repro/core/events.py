@@ -37,6 +37,10 @@ class EventKind(enum.Enum):
     CONTROLLER_FENCED = "controller-fenced"
     LEND_DECLINED = "lend-declined"
     EPOCH_SYNC_SKIPPED = "epoch-sync-skipped"
+    FED_LENT = "fed-lent"
+    FED_RETURNED = "fed-returned"
+    FED_IMPORTED = "fed-imported"
+    FED_RECALLED = "fed-recalled"
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,10 @@ class Method(str, enum.Enum):
     GS_REPORT_FAILURE = "GS_report_failure"  # user reports a dead server
     MIRROR_OP = "mirror_op"            # controller → secondary replication
     HEARTBEAT = "heartbeat"
+    # Cross-rack federation verbs (ZomFed): served by a rack's controller
+    # on behalf of another rack's gateway when its zombie pool runs dry.
+    FED_BORROW = "FED_borrow"          # lend free zombie buffers to a peer rack
+    FED_RETURN = "FED_return"          # peer rack returns borrowed buffers
 
 
 # -- delivery semantics -------------------------------------------------------
@@ -74,6 +78,8 @@ VERB_IDEMPOTENCY = {
     "GS_report_failure": "idempotent",
     "mirror_op": "dedup_required",
     "heartbeat": "read_only",
+    "FED_borrow": "dedup_required",
+    "FED_return": "dedup_required",
 }
 
 
@@ -102,6 +108,11 @@ VERB_ERRORS = {
     "GS_report_failure": (),
     "mirror_op": (),
     "heartbeat": (),
+    # ConfigurationError covers metric-registry conflicts surfacing
+    # through the lending audit trail (same escape the GS verbs carry
+    # as baselined ZL011 debt; the FED verbs declare it honestly).
+    "FED_borrow": ("AllocationError", "BufferError_", "ConfigurationError"),
+    "FED_return": ("ControllerError", "BufferError_", "ConfigurationError"),
 }
 
 

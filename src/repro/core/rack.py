@@ -42,13 +42,21 @@ class Rack:
                  heartbeat_period_s: float = 1.0,
                  stripe: bool = True,
                  rng_seed: int = 0,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 fabric: Optional[Fabric] = None,
+                 name: Optional[str] = None):
         if not server_names:
             raise ConfigurationError("a rack needs at least one server")
         if len(set(server_names)) != len(server_names):
             raise ConfigurationError("duplicate server names")
+        #: Federation identity: set when this rack joins a multi-rack
+        #: fabric.  Controller/secondary node names are then prefixed
+        #: ``"<name>/"`` so N racks coexist in one node directory, and
+        #: every node is registered under this rack for inter-rack
+        #: link costing.  A standalone rack (name=None) is unchanged.
+        self.name = name
         self.engine = engine or Engine()
-        self.fabric = Fabric(costs=costs, telemetry=telemetry)
+        self.fabric = fabric or Fabric(costs=costs, telemetry=telemetry)
         # All spans/metrics run on simulated time, whichever hub we carry.
         self.telemetry = self.fabric.telemetry
         self.telemetry.bind_clock(lambda: self.engine.now)
@@ -57,8 +65,11 @@ class Rack:
         self.rng = DeterministicRng(rng_seed)
         # Arm the adversarial fabric with its own RNG stream so enabling
         # probabilistic message faults never perturbs the draws of the
-        # retry policy or workloads (same fork discipline as below).
-        self.fabric.message_faults.bind_rng(self.rng.fork(2))
+        # retry policy or workloads (same fork discipline as below).  On
+        # a shared federation fabric the first rack's stream wins — one
+        # injector, one stream, still replayable.
+        if self.fabric.message_faults.rng is None:
+            self.fabric.message_faults.bind_rng(self.rng.fork(2))
         #: One policy for request/response control traffic, retried under
         #: backoff, and one single-attempt policy for monitoring paths
         #: (heartbeats have their own period as the retry loop).
@@ -70,8 +81,12 @@ class Rack:
         )
 
         # Dedicated controller machines (always-on S0 nodes).
-        ctr_node = self.fabric.add_node("global-mem-ctr")
-        sec_node = self.fabric.add_node("secondary-ctr")
+        prefix = f"{name}/" if name else ""
+        ctr_node = self.fabric.add_node(f"{prefix}global-mem-ctr")
+        sec_node = self.fabric.add_node(f"{prefix}secondary-ctr")
+        if name is not None:
+            self.fabric.set_rack(ctr_node.name, name)
+            self.fabric.set_rack(sec_node.name, name)
         self.controller = GlobalMemoryController(ctr_node, buff_size=buff_size,
                                                  stripe=stripe)
         self.controller.events._clock = lambda: self.engine.now
@@ -112,6 +127,8 @@ class Rack:
                 name, RpcClient(ctr_node, server.manager.rpc,
                                 retry_policy=self.retry_policy)
             )
+            if self.name is not None:
+                self.fabric.set_rack(name, self.name)
             self.servers[name] = server
 
     # -- lookups ----------------------------------------------------------

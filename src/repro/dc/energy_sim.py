@@ -155,7 +155,9 @@ def simulate_energy(tasks: List[Task], n_servers: int,
                     profile: MachineProfile, policy: str,
                     slot_s: float = HOUR,
                     slots: Optional[List[DemandSlot]] = None,
-                    telemetry=None) -> PolicyEnergyResult:
+                    telemetry=None,
+                    backend: str = "aggregate",
+                    fleet=None) -> PolicyEnergyResult:
     """Run one policy over a trace and integrate rack energy.
 
     With a :class:`~repro.obs.Telemetry` hub attached, every slot's rack
@@ -163,12 +165,35 @@ def simulate_energy(tasks: List[Task], n_servers: int,
     Chrome-trace counter series — the Fig. 10 curve becomes scrubbable in
     Perfetto) and the per-slot power distribution feeds a
     ``dc_slot_power_watts`` histogram.
+
+    ``backend`` selects how the ZombieStack policy is evaluated:
+
+    - ``"aggregate"`` (default) — the closed-form fractional sweep;
+    - ``"federation"`` — each slot's plan is *enacted* on a live
+      multi-rack :class:`~repro.dc.fleet.FederationFleet` (pass one via
+      ``fleet`` to control its shape, or let a 2-rack scale model be
+      built): hosts really transition S0↔Sz, cold-memory demand really
+      allocates through the federation gateway (dry racks borrow
+      cross-rack), and the inter-rack energy surcharge is added to the
+      integral — so poor placement shows up in the J/hour result.
     """
     plan_fn = POLICIES.get(policy)
     if plan_fn is None:
         raise ConfigurationError(
             f"unknown policy {policy!r}; expected one of {sorted(POLICIES)}"
         )
+    if backend not in ("aggregate", "federation"):
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected 'aggregate' or "
+            "'federation'")
+    if backend == "federation":
+        if policy != "ZombieStack":
+            raise ConfigurationError(
+                "the federation backend enacts the zombie pool; only the "
+                f"'ZombieStack' policy supports it, not {policy!r}")
+        if fleet is None:
+            from repro.dc.fleet import build_fleet
+            fleet = build_fleet(n_servers, telemetry=telemetry)
     if slots is None:
         slots = aggregate_demand(tasks, slot_s=slot_s)
     obs = telemetry is not None and telemetry.enabled
@@ -191,10 +216,21 @@ def simulate_energy(tasks: List[Task], n_servers: int,
     remote_server_s = 0.0
     zombie_served_server_s = 0.0
     slot_seconds = 0.0
+    cross_rack_joules = 0.0
+    fed_borrows = 0
     for slot in slots:
         plan = plan_fn(slot, n_servers)
         watts = _slot_power(plan, profile)
         joules += watts_x_seconds(watts, slot.duration_s)
+        if fleet is not None:
+            # The scale model's cross-rack surcharge, re-scaled to the
+            # sweep's fleet size, joins the energy integral.
+            deltas = fleet.enact(plan, slot, n_servers)
+            surcharge = (deltas["cross_rack_joules"]
+                         * n_servers / fleet.n_hosts)
+            joules += surcharge
+            cross_rack_joules += surcharge
+            fed_borrows += deltas["borrows"]
         baseline = plan_baseline(slot, n_servers)
         baseline_joules += watts_x_seconds(_slot_power(baseline, profile),
                                            slot.duration_s)
@@ -251,6 +287,15 @@ def simulate_energy(tasks: List[Task], n_servers: int,
             "dc_demand_slot_seconds_total",
             "Total simulated time across demand slots.",
             **labels).inc(slot_seconds)
+        if fleet is not None:
+            registry.counter(
+                "dc_fed_cross_rack_joules_total",
+                "Inter-rack lending surcharge folded into the sweep.",
+                **labels).inc(cross_rack_joules)
+            registry.counter(
+                "dc_fed_borrows_total",
+                "Cross-rack buffer borrows during the enacted sweep.",
+                **labels).inc(fed_borrows)
         for role, mean in (("active", active_sum / n),
                            ("zombie", zombie_sum / n),
                            ("memory", memory_sum / n),

@@ -1,0 +1,148 @@
+"""A real multi-rack ZombieStack behind the Fig. 10 energy sweep.
+
+The aggregate backend in :mod:`repro.dc.energy_sim` treats the fleet as
+closed-form fractions.  This module enacts each slot's plan on an
+actual :class:`~repro.fed.Federation`: hosts really transition between
+S0 and Sz, the slot's cold-memory demand is really allocated through
+the federation gateway (so a dry rack really borrows cross-rack), and
+the inter-rack surcharge really accrues on the shared fabric — which is
+what lets ZomAudit grade placement quality in J/hour terms instead of
+trusting the sweep's arithmetic.
+
+The fleet is a scale model: ``n_racks × hosts_per_rack`` simulated
+hosts stand in for the sweep's ``n_servers``, with targets scaled by
+the host ratio.  Per rack, host 1 stays active and plays the tenant
+driving allocations; the remaining hosts are the Sz candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.fed import Federation
+from repro.units import MiB
+
+
+class FederationFleet:
+    """Enacts per-slot ZombieStack plans on a live federation."""
+
+    def __init__(self, n_racks: int = 2, hosts_per_rack: int = 3,
+                 memory_bytes: int = 256 * MiB, buff_size: int = 16 * MiB,
+                 rng_seed: int = 0, telemetry=None):
+        if hosts_per_rack < 2:
+            raise ConfigurationError(
+                "a fleet rack needs >= 2 hosts: one tenant + Sz candidates")
+        self.fed = Federation(n_racks=n_racks, hosts_per_rack=hosts_per_rack,
+                              memory_bytes=memory_bytes, buff_size=buff_size,
+                              rng_seed=rng_seed, telemetry=telemetry)
+        self.memory_bytes = memory_bytes
+        self.buff_size = buff_size
+        #: Per-rack driving tenant (host 1, pinned active).
+        self.tenants: Dict[str, str] = {
+            rack: f"{rack}/h1" for rack in self.fed.rack_names}
+        #: Sz candidates in deterministic zombification order.
+        self.candidates: List[str] = [
+            f"{rack}/h{j + 1}"
+            for j in range(1, hosts_per_rack)
+            for rack in self.fed.rack_names]
+        self.n_hosts = n_racks * hosts_per_rack
+        #: tenant → buffer ids currently held for the demand model.
+        self.holdings: Dict[str, List[int]] = {
+            tenant: [] for tenant in self.tenants.values()}
+        self.alloc_failures = 0
+
+    # -- Sz disposition ---------------------------------------------------
+    def _zombie_set(self) -> set:
+        return {server.name
+                for rack in self.fed.racks.values()
+                for server in rack.zombie_servers()}
+
+    def set_zombie_target(self, target: int) -> int:
+        """Transition hosts until ``target`` of them are in Sz.
+
+        Zombification follows :attr:`candidates` order (round-robin
+        across racks, so the pool stays spread); wakes release the most
+        recently zombified first.  Returns the actual Sz count.
+        """
+        target = max(0, min(target, len(self.candidates)))
+        wanted = set(self.candidates[:target])
+        zombies = self._zombie_set()
+        for name in self.candidates:
+            if name in wanted and name not in zombies:
+                self.fed.make_zombie(name)
+            elif name not in wanted and name in zombies:
+                self.fed.wake(name)
+        return len(self._zombie_set())
+
+    # -- demand enactment -------------------------------------------------
+    def set_demand_bytes(self, total_bytes: int) -> int:
+        """Grow/shrink gateway-held remote memory toward ``total_bytes``.
+
+        Demand is spread evenly over the per-rack tenants; growth goes
+        through ``GS_alloc_ext`` via the gateway, so a tenant whose home
+        rack is dry triggers a cross-rack ``FED_borrow``.  A federation-
+        wide dry allocation is counted, not raised — the sweep's demand
+        can legitimately exceed the scale model's capacity.  Returns the
+        total buffers held afterwards.
+        """
+        tenants = sorted(self.holdings)
+        per_tenant = max(0, int(total_bytes)) // (
+            self.buff_size * len(tenants))
+        for tenant in tenants:
+            held = self.holdings[tenant]
+            while len(held) > per_tenant:
+                drop = [held.pop() for _ in range(
+                    min(4, len(held) - per_tenant))]
+                self.fed.gateway.release(tenant, sorted(drop))
+            while len(held) < per_tenant:
+                want = min(4, per_tenant - len(held))
+                try:
+                    granted = self.fed.gateway.alloc_ext(
+                        tenant, want * self.buff_size)
+                except AllocationError:
+                    self.alloc_failures += 1
+                    break
+                held.extend(d.buffer_id for d in granted)
+        return sum(len(h) for h in self.holdings.values())
+
+    # -- slot accounting --------------------------------------------------
+    def enact(self, plan, slot, n_servers: int) -> Dict[str, float]:
+        """Enact one slot plan; returns the slot's federation deltas."""
+        from repro.dc.energy_sim import MEM_CEILING
+
+        joules_before = self.fed.fabric.cross_rack_joules
+        borrows_before = self.fed.lending.borrows
+        scale = self.n_hosts / float(n_servers)
+        zombies = self.set_zombie_target(round(plan.zombies * scale))
+        remote = max(0.0, slot.mem_used - plan.active * MEM_CEILING)
+        self.set_demand_bytes(int(remote * scale * self.memory_bytes))
+        return {
+            "zombies": zombies,
+            "cross_rack_joules": (self.fed.fabric.cross_rack_joules
+                                  - joules_before),
+            "borrows": self.fed.lending.borrows - borrows_before,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        merged = dict(self.fed.stats())
+        merged["alloc_failures"] = self.alloc_failures
+        merged["held_buffers"] = sum(len(h)
+                                     for h in self.holdings.values())
+        return merged
+
+
+def build_fleet(n_servers: int, n_racks: int = 2,
+                hosts_per_rack: Optional[int] = None,
+                rng_seed: int = 0, telemetry=None) -> FederationFleet:
+    """A scale-model fleet for an ``n_servers`` sweep.
+
+    ``hosts_per_rack`` defaults to a small model (3 per rack) — the
+    fleet is a stand-in, not a 1:1 deployment; targets are scaled by
+    the host ratio inside :meth:`FederationFleet.enact`.
+    """
+    if n_servers < 1:
+        raise ConfigurationError(f"n_servers must be >= 1: {n_servers}")
+    return FederationFleet(n_racks=n_racks,
+                           hosts_per_rack=hosts_per_rack or 3,
+                           rng_seed=rng_seed, telemetry=telemetry)

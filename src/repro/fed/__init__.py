@@ -1,0 +1,34 @@
+"""ZomFed: the multi-rack federated control plane.
+
+One rack's ZombieStack (Fig. 7) is a controller/secondary pair plus N
+serving hosts on one switch.  A datacenter (Fig. 10) is many such racks;
+ZomFed composes them without touching the single-rack codepath:
+
+- :mod:`repro.fed.ring` — a consistent-hash ring mapping tenants and
+  buffers to *home* racks, so placement survives rack addition/removal
+  with minimal reshuffling;
+- :mod:`repro.fed.directory` — per-rack zombie-pool capacity and
+  liveness, refreshed via heartbeat digests;
+- :mod:`repro.fed.lending` — cross-rack zombie lending over the
+  ``FED_borrow``/``FED_return`` verbs, with donor-initiated recall
+  riding the existing ``US_reclaim`` revocation plane;
+- :mod:`repro.fed.gateway` — routes protocol verbs to the home rack and
+  engages lending when a rack's zombie pool runs dry;
+- :mod:`repro.fed.federation` — assembles N :class:`~repro.core.rack.
+  Rack` instances on one shared fabric/engine, with inter-rack links
+  costed above intra-rack ones (see :class:`~repro.rdma.fabric.
+  InterRackLink`) so placement quality is measurable in J/hour terms.
+
+See ``docs/FEDERATION.md``.
+"""
+
+from repro.fed.directory import FederationDirectory, RackDigest
+from repro.fed.federation import Federation
+from repro.fed.gateway import FederationGateway
+from repro.fed.lending import LendingManager, Loan
+from repro.fed.ring import ConsistentHashRing
+
+__all__ = [
+    "ConsistentHashRing", "Federation", "FederationDirectory",
+    "FederationGateway", "LendingManager", "Loan", "RackDigest",
+]

@@ -1,0 +1,295 @@
+"""Cross-rack zombie lending: the ``FED_borrow``/``FED_return`` plane.
+
+A loan moves no data.  The donor's controller assigns free zombie-pool
+buffers to a federation user; the borrower's controller *imports* the
+descriptors (same host names, same rkeys — one-sided verbs address the
+donor's hosts directly over the shared fabric) and hands them to local
+users with normal zombie-first priority.
+
+Every (borrower, donor) pair gets one :class:`LendingAgent`: a node in
+the *borrower's* rack that the donor's controller talks to exactly the
+way it talks to its own serving hosts.  That buys recall-for-free — a
+donor host waking up revokes loaned buffers through the existing
+``US_reclaim`` plane, and the agent re-homes the borrower side — plus
+per-donor fencing-epoch watermarks, so a deposed donor primary cannot
+recall loans it no longer owns.
+
+Both ``FED_*`` verbs are ``dedup_required``: the borrow client retries
+under its policy, and the donor replays cached grants for re-delivered
+request ids — a lost reply or duplicated borrow can never double-lend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protocol import Method
+from repro.errors import (BufferError_, ConfigurationError, ControllerError,
+                          FencingError, RpcError)
+from repro.rdma.rpc import RpcClient, RpcServer
+
+
+@dataclass
+class Loan:
+    """One borrowed buffer as tracked by the federation."""
+
+    buffer_id: int
+    donor: str
+    borrower: str
+
+
+class LendingAgent:
+    """The borrower-side endpoint of one borrower ← donor lending pair."""
+
+    def __init__(self, manager: "LendingManager", borrower: str, donor: str):
+        self.manager = manager
+        self.borrower = borrower
+        self.donor = donor
+        fed = manager.fed
+        self.node = fed.fabric.add_node(f"{borrower}/fed-from-{donor}")
+        fed.fabric.set_rack(self.node.name, borrower)
+        self.rpc = RpcServer(self.node)
+        #: Highest donor fencing epoch seen (same watermark discipline
+        #: as :class:`~repro.core.manager.RemoteMemoryManager`).
+        self.donor_epoch = 0
+        register = self.rpc.register
+        traced = self.rpc.traced
+        register(Method.US_RECLAIM.value,
+                 traced(Method.US_RECLAIM.value, self.us_reclaim,
+                        idempotency="idempotent"))
+        register(Method.US_INVALIDATE.value,
+                 traced(Method.US_INVALIDATE.value, self.us_invalidate,
+                        idempotency="idempotent"))
+        register(Method.AS_GET_FREE_MEM.value,
+                 traced(Method.AS_GET_FREE_MEM.value, self.as_get_free_mem,
+                        idempotency="dedup_required"))
+        register(Method.AS_RESYNC.value,
+                 traced(Method.AS_RESYNC.value, self.as_resync,
+                        idempotency="idempotent"))
+        register(Method.HEARTBEAT.value,
+                 traced(Method.HEARTBEAT.value, self.heartbeat,
+                        idempotency="read_only"))
+
+    def _fence(self, epoch: Optional[int]) -> None:
+        if epoch is None:
+            return
+        if epoch < self.donor_epoch:
+            raise FencingError(
+                f"{self.node.name}: rejecting donor call with stale epoch "
+                f"{epoch} (current {self.donor_epoch})"
+            )
+        self.donor_epoch = epoch
+
+    # -- the donor-facing revocation plane --------------------------------
+    def heartbeat(self, epoch: Optional[int] = None) -> str:
+        self._fence(epoch)
+        return "alive"
+
+    def us_reclaim(self, buffer_ids: List[int],
+                   epoch: Optional[int] = None) -> int:
+        """Donor-initiated recall: a waking host is taking loans back."""
+        self._fence(epoch)
+        return self.manager.recalled_by_donor(self.donor, buffer_ids)
+
+    def us_invalidate(self, host: str, buffer_ids: List[int],
+                      epoch: Optional[int] = None) -> int:
+        """Donor lost a serving host: the loaned content is gone."""
+        self._fence(epoch)
+        return self.manager.recalled_by_donor(self.donor, buffer_ids)
+
+    def as_get_free_mem(self, epoch: Optional[int] = None) -> list:
+        """A federation agent has no local frames to lend."""
+        self._fence(epoch)
+        return []
+
+    def as_resync(self, buffer_ids: List[int],
+                  epoch: Optional[int] = None) -> int:
+        self._fence(epoch)
+        return 0
+
+
+class LendingManager:
+    """The federation's loan table and borrow/return/recall engine."""
+
+    def __init__(self, federation):
+        self.fed = federation
+        self.loans: Dict[int, Loan] = {}
+        self.agents: Dict[Tuple[str, str], LendingAgent] = {}
+        #: Borrow clients per agent, re-resolved after a donor failover.
+        self._borrow_clients: Dict[Tuple[str, str, int], RpcClient] = {}
+        #: Recalls whose borrower-side drop hit a transport/controller
+        #: fault; retried by :meth:`pump_recalls`.
+        self.pending_recalls: List[Tuple[str, List[int]]] = []
+        self.borrows = 0
+        self.returns = 0
+        self.recalls = 0
+
+    # -- wiring -----------------------------------------------------------
+    def agent_for(self, borrower: str, donor: str) -> LendingAgent:
+        """The (lazily built) agent of one borrower ← donor pair."""
+        key = (borrower, donor)
+        agent = self.agents.get(key)
+        if agent is None:
+            agent = LendingAgent(self, borrower, donor)
+            self.agents[key] = agent
+        self._ensure_attached(agent)
+        return agent
+
+    def _ensure_attached(self, agent: LendingAgent) -> None:
+        """(Re)attach the agent to the donor's *current* controller.
+
+        A donor failover rebuilds the promoted controller's agent table
+        from its own servers only, so the federation channel must be
+        re-established — under the new primary's epoch — before the
+        next borrow or recall can flow.
+        """
+        donor_rack = self.fed.racks[agent.donor]
+        controller = donor_rack.controller
+        if agent.node.name not in controller.agent_clients:
+            controller.attach_agent(
+                agent.node.name,
+                RpcClient(controller.node, agent.rpc,
+                          retry_policy=donor_rack.retry_policy))
+
+    def reattach_donor(self, donor: str) -> None:
+        """Re-wire ``donor``'s lending agents after its failover.
+
+        A promoted primary rebuilds its agent table from the rack's own
+        servers, so every federation revocation channel into it is gone;
+        without this, the next waking donor host would find no path to
+        ``US_reclaim`` its loaned buffers.  Called from the federation's
+        failover hook, symmetrically with how the rack re-attaches its
+        own serving hosts.
+        """
+        for (_, agent_donor), agent in sorted(self.agents.items()):
+            if agent_donor == donor:
+                self._ensure_attached(agent)
+
+    def _borrow_client(self, agent: LendingAgent) -> RpcClient:
+        donor_rack = self.fed.racks[agent.donor]
+        key = (agent.borrower, agent.donor, id(donor_rack.controller.rpc))
+        client = self._borrow_clients.get(key)
+        if client is None:
+            client = RpcClient(agent.node, donor_rack.controller.rpc,
+                               retry_policy=self.fed.racks[
+                                   agent.borrower].retry_policy)
+            self._borrow_clients[key] = client
+        return client
+
+    # -- borrow / return --------------------------------------------------
+    def borrow(self, borrower: str, donor: str, nb_buffers: int) -> int:
+        """Borrow up to ``nb_buffers`` zombie buffers from ``donor``.
+
+        The grant is imported into the borrower's controller database,
+        so its allocation engine serves the loaned memory with normal
+        zombie-first priority.  Returns the number of buffers borrowed;
+        raises :class:`AllocationError` when the donor pool is dry.
+        """
+        agent = self.agent_for(borrower, donor)
+        granted = self._borrow_client(agent).call(
+            Method.FED_BORROW.value, agent.node.name, nb_buffers)
+        self.fed.racks[borrower].controller.fed_import(granted)
+        for descriptor in granted:
+            self.loans[descriptor.buffer_id] = Loan(
+                buffer_id=descriptor.buffer_id, donor=donor,
+                borrower=borrower)
+        self.borrows += len(granted)
+        registry = self.fed.telemetry.registry
+        registry.counter(
+            "fed_borrows_total", "Buffers borrowed across racks.",
+            src_rack=borrower, dst_rack=donor).inc(len(granted))
+        return len(granted)
+
+    def return_loans(self, borrower: str, donor: str,
+                     buffer_ids: Optional[List[int]] = None) -> int:
+        """Proactively give loans back (default: every loan of the pair).
+
+        The borrower side drops first (recalling the buffers from any
+        local user), then ``FED_return`` frees them on the donor — the
+        same order a donor-initiated recall uses, so a crash between the
+        two steps leaves the loan recallable, never double-owned.
+        """
+        pair = [loan.buffer_id for loan in self.loans.values()
+                if loan.borrower == borrower and loan.donor == donor]
+        wanted = pair if buffer_ids is None else [
+            b for b in buffer_ids if b in pair]
+        if not wanted:
+            return 0
+        agent = self.agent_for(borrower, donor)
+        dropped = self.fed.racks[borrower].controller.fed_recall(
+            sorted(wanted))
+        self._borrow_client(agent).call(Method.FED_RETURN.value,
+                                        agent.node.name, sorted(wanted))
+        for buffer_id in wanted:
+            self.loans.pop(buffer_id, None)
+        self.returns += len(wanted)
+        registry = self.fed.telemetry.registry
+        registry.counter(
+            "fed_returns_total", "Buffers returned across racks.",
+            src_rack=borrower, dst_rack=donor).inc(len(wanted))
+        return len(dropped)
+
+    # -- donor-initiated recall -------------------------------------------
+    def recalled_by_donor(self, donor: str, buffer_ids: List[int]) -> int:
+        """The donor revoked loans; drop them on the borrower side.
+
+        A transport/controller fault while recalling the borrower's
+        local users queues the drop for :meth:`pump_recalls` instead of
+        failing the donor's revocation — the donor's reclaim must not
+        block on a borrower's flaky user.
+        """
+        per_borrower: Dict[str, List[int]] = {}
+        for buffer_id in buffer_ids:
+            loan = self.loans.get(buffer_id)
+            if loan is None or loan.donor != donor:
+                continue
+            per_borrower.setdefault(loan.borrower, []).append(buffer_id)
+        recalled = 0
+        for borrower, ids in sorted(per_borrower.items()):
+            if not self._drop_on_borrower(borrower, sorted(ids)):
+                self.pending_recalls.append((borrower, sorted(ids)))
+                continue
+            for buffer_id in ids:
+                self.loans.pop(buffer_id, None)
+            recalled += len(ids)
+        self.recalls += recalled
+        return recalled
+
+    def _drop_on_borrower(self, borrower: str, ids: List[int]) -> bool:
+        """Drop recalled loans from the borrower's database.
+
+        Returns ``False`` on any controller/transport fault so callers
+        can defer to :meth:`pump_recalls` — deliberately no event emit
+        here: this sits on the donor's ``US_reclaim`` call graph, and
+        the deferral is already observable through ``pending_recalls``.
+        """
+        try:
+            self.fed.racks[borrower].controller.fed_recall(ids)
+        except (RpcError, ControllerError, BufferError_,
+                ConfigurationError):
+            return False
+        return True
+
+    def pump_recalls(self) -> int:
+        """Retry deferred borrower-side recall drops; returns completed."""
+        pending, self.pending_recalls = self.pending_recalls, []
+        completed = 0
+        for borrower, ids in pending:
+            if not self._drop_on_borrower(borrower, ids):
+                self.pending_recalls.append((borrower, ids))
+                continue
+            for buffer_id in ids:
+                self.loans.pop(buffer_id, None)
+            completed += len(ids)
+        return completed
+
+    # -- introspection ----------------------------------------------------
+    def loans_from(self, donor: str) -> List[Loan]:
+        return sorted((l for l in self.loans.values() if l.donor == donor),
+                      key=lambda l: l.buffer_id)
+
+    def loans_to(self, borrower: str) -> List[Loan]:
+        return sorted((l for l in self.loans.values()
+                       if l.borrower == borrower),
+                      key=lambda l: l.buffer_id)

@@ -1,0 +1,103 @@
+"""Consistent-hash placement: tenants and buffers → home racks.
+
+The classic Karger ring: each rack owns ``vnodes`` points on a 64-bit
+circle, a key's home is the first rack point at or after the key's own
+point.  Virtual nodes smooth the load split, and adding or removing one
+rack only re-homes the keys that fell in its arcs — the property that
+makes rack maintenance cheap at datacenter scale.
+
+Hashing is :mod:`hashlib`-based (never Python's salted ``hash()``), so
+placement is stable across processes and replayable — the same
+determinism discipline as the rest of the simulator.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit position on the ring for ``key``."""
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """A ring of rack names with ``vnodes`` points per rack."""
+
+    def __init__(self, racks: Iterable[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._racks: set = set()
+        for rack in racks:
+            self.add_rack(rack)
+
+    @property
+    def racks(self) -> List[str]:
+        return sorted(self._racks)
+
+    def __len__(self) -> int:
+        return len(self._racks)
+
+    def __contains__(self, rack: str) -> bool:
+        return rack in self._racks
+
+    def add_rack(self, rack: str) -> None:
+        if rack in self._racks:
+            raise ConfigurationError(f"rack {rack!r} already on the ring")
+        self._racks.add(rack)
+        for replica in range(self.vnodes):
+            point = _point(f"{rack}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, rack)
+
+    def remove_rack(self, rack: str) -> None:
+        if rack not in self._racks:
+            raise ConfigurationError(f"rack {rack!r} not on the ring")
+        self._racks.discard(rack)
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != rack]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def home(self, key: str) -> str:
+        """The home rack of ``key`` (first point clockwise from its hash)."""
+        if not self._points:
+            raise ConfigurationError("empty ring: no rack to home onto")
+        index = bisect.bisect(self._points, _point(key)) % len(self._points)
+        return self._owners[index]
+
+    def preference(self, key: str, n: Optional[int] = None) -> List[str]:
+        """The first ``n`` *distinct* racks clockwise from ``key``.
+
+        Entry 0 is :meth:`home`; the rest is the failover order a
+        gateway walks when the home rack is dead — every caller derives
+        the same order, so re-homing is coordination-free.
+        """
+        if not self._points:
+            raise ConfigurationError("empty ring: no rack to home onto")
+        wanted = len(self._racks) if n is None else min(n, len(self._racks))
+        start = bisect.bisect(self._points, _point(key))
+        order: List[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in order:
+                order.append(owner)
+                if len(order) == wanted:
+                    break
+        return order
+
+    def load_split(self, keys: Iterable[str]) -> dict:
+        """rack → number of ``keys`` homed there (placement diagnostics)."""
+        split = {rack: 0 for rack in self._racks}
+        for key in keys:
+            split[self.home(key)] += 1
+        return split

@@ -413,6 +413,13 @@ _AUDIT_METRIC_CONTRACT = (
      ("host_energy_joules_total", "host_power_watts")),
     (("memory", "buffers.py"),
      ("page_store_fallback_pages", "page_store_ops_total")),
+    # ZomFed: the inter-rack energy surcharge (the J/hour term placement
+    # quality is graded on) and the per-rack capacity/liveness gauges.
+    (("rdma", "fabric.py"),
+     ("fed_cross_rack_ops_total", "fed_cross_rack_bytes_total",
+      "fed_cross_rack_joules_total")),
+    (("fed", "directory.py"),
+     ("fed_rack_alive", "fed_rack_free_zombie_bytes")),
 )
 
 

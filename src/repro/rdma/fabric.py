@@ -74,6 +74,31 @@ class LinkFaults:
                    for kind in MESSAGE_FAULT_KINDS)
 
 
+@dataclass(frozen=True)
+class InterRackLink:
+    """Cost model of one rack-to-rack path (ZomFed's federation fabric).
+
+    Cross-rack traffic leaves the rack switch for the aggregation layer,
+    so every message pays ``extra_latency_s`` on top of the intra-rack
+    cost model and every RPC/byte accrues the energy surcharges below —
+    making placement quality measurable in ZomAudit's J/hour terms.
+    """
+
+    #: Added per-message round-trip latency (spine/aggregation hops).
+    extra_latency_s: float = 40.0e-6
+    #: Energy surcharge per RPC round trip crossing the link.
+    joules_per_rpc: float = 5.0e-6
+    #: Energy surcharge per payload byte crossing the link.
+    joules_per_byte: float = 2.0e-9
+
+    def __post_init__(self) -> None:
+        if self.extra_latency_s < 0.0:
+            raise ConfigurationError(
+                f"negative inter-rack extra_latency_s: {self.extra_latency_s}")
+        if self.joules_per_rpc < 0.0 or self.joules_per_byte < 0.0:
+            raise ConfigurationError("inter-rack energy costs must be >= 0")
+
+
 @dataclass
 class MessageFaultDecision:
     """What the injector decided for one message on one link."""
@@ -132,12 +157,23 @@ class MessageFaultInjector:
         #: FIFO of (kind, method-or-None) one-shots per link key.
         self.scripted: Dict[Tuple[str, str], List[Tuple[str,
                                                         Optional[str]]]] = {}
+        #: Rack-pair plans/scripts keyed on (src_rack, dst_rack), applied
+        #: only to messages whose endpoints resolve to *different* racks
+        #: and only when no node-level plan/script matches first.
+        self.rack_plans: Dict[Tuple[str, str], LinkFaults] = {}
+        self.rack_scripts: Dict[Tuple[str, str], List[Tuple[str,
+                                                            Optional[str]]]] = {}
+        self._rack_resolver = None
         self.active = False
         self.injected: Dict[str, int] = {k: 0 for k in MESSAGE_FAULT_KINDS}
 
     def bind_rng(self, rng) -> None:
         """Attach the seeded stream probabilistic plans draw from."""
         self.rng = rng
+
+    def bind_rack_resolver(self, resolver) -> None:
+        """Attach the node-name → rack-name lookup rack plans resolve by."""
+        self._rack_resolver = resolver
 
     # -- configuration ----------------------------------------------------
     def set_link(self, src: str, dst: str, faults: LinkFaults) -> None:
@@ -161,32 +197,57 @@ class MessageFaultInjector:
         self.scripted.setdefault((src, dst), []).append((kind, method))
         self._refresh_active()
 
+    def set_rack_link(self, src_rack: str, dst_rack: str,
+                      faults: LinkFaults) -> None:
+        """Install a probabilistic plan for one inter-rack link."""
+        if faults.probabilistic and self.rng is None:
+            raise ConfigurationError(
+                "probabilistic message faults need a seeded rng "
+                "(call bind_rng first): unseeded faults are not replayable"
+            )
+        self.rack_plans[(src_rack, dst_rack)] = faults
+        self._refresh_active()
+
+    def script_rack(self, src_rack: str, dst_rack: str, kind: str,
+                    method: Optional[str] = None) -> None:
+        """Queue a one-shot fault for the next matching cross-rack message."""
+        if kind not in MESSAGE_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown message-fault kind {kind!r}; "
+                f"expected one of {MESSAGE_FAULT_KINDS}"
+            )
+        self.rack_scripts.setdefault((src_rack, dst_rack),
+                                     []).append((kind, method))
+        self._refresh_active()
+
     def clear(self, src: Optional[str] = None,
               dst: Optional[str] = None) -> None:
         """Drop plans and scripts; with src/dst, only that link key."""
         if src is None and dst is None:
             self.plans.clear()
             self.scripted.clear()
+            self.rack_plans.clear()
+            self.rack_scripts.clear()
         else:
             self.plans.pop((src, dst), None)
             self.scripted.pop((src, dst), None)
+            self.rack_plans.pop((src, dst), None)
+            self.rack_scripts.pop((src, dst), None)
         self._refresh_active()
 
     def _refresh_active(self) -> None:
-        self.active = bool(self.plans) or any(self.scripted.values())
+        self.active = (bool(self.plans) or any(self.scripted.values())
+                       or bool(self.rack_plans)
+                       or any(self.rack_scripts.values()))
 
     # -- the per-message decision -----------------------------------------
     def _lookup_keys(self, src: str, dst: str):
         return ((src, dst), ("*", dst), (src, "*"), ("*", "*"))
 
-    def decide(self, src: str, dst: str,
-               method: str) -> MessageFaultDecision:
-        """One message is about to cross ``src → dst``: what happens?"""
-        if not self.active:
-            return _NO_FAULTS
-        decision = None
-        for key in self._lookup_keys(src, dst):
-            queue = self.scripted.get(key)
+    def _pop_script(self, scripts, keys, method):
+        """Consume the first matching one-shot across ``keys`` (FIFO)."""
+        for key in keys:
+            queue = scripts.get(key)
             if not queue:
                 continue
             for index, (kind, wanted) in enumerate(queue):
@@ -199,14 +260,36 @@ class MessageFaultInjector:
                          DUPLICATE: "duplicate",
                          REORDER: "reorder"}[kind]
                 setattr(decision, field, True)
-                break
-            if decision is not None:
-                break
+                return decision
+        return None
+
+    def decide(self, src: str, dst: str,
+               method: str) -> MessageFaultDecision:
+        """One message is about to cross ``src → dst``: what happens?"""
+        if not self.active:
+            return _NO_FAULTS
+        node_keys = self._lookup_keys(src, dst)
+        rack_keys = None
+        if (self._rack_resolver is not None
+                and (self.rack_plans or self.rack_scripts)):
+            src_rack = self._rack_resolver(src)
+            dst_rack = self._rack_resolver(dst)
+            if (src_rack is not None and dst_rack is not None
+                    and src_rack != dst_rack):
+                rack_keys = self._lookup_keys(src_rack, dst_rack)
+        decision = self._pop_script(self.scripted, node_keys, method)
+        if decision is None and rack_keys is not None:
+            decision = self._pop_script(self.rack_scripts, rack_keys, method)
         plan = None
-        for key in self._lookup_keys(src, dst):
+        for key in node_keys:
             plan = self.plans.get(key)
             if plan is not None:
                 break
+        if plan is None and rack_keys is not None:
+            for key in rack_keys:
+                plan = self.rack_plans.get(key)
+                if plan is not None:
+                    break
         if plan is not None:
             if decision is None:
                 decision = MessageFaultDecision()
@@ -301,6 +384,8 @@ class RdmaNode:
         mr = target.pd.lookup(rkey)
         payload = mr.read(offset, length)
         elapsed = self.fabric.costs.transfer_time(length)
+        elapsed += self.fabric.charge_cross_rack(self.name, qp.remote,
+                                                 nbytes=length)
         self._post_verb(qp, elapsed)
         self.fabric.stats.reads += 1
         self.fabric.stats.bytes_read += length
@@ -320,6 +405,8 @@ class RdmaNode:
         mr = target.pd.lookup(rkey)
         mr.write(offset, payload)
         elapsed = self.fabric.costs.transfer_time(len(payload))
+        elapsed += self.fabric.charge_cross_rack(self.name, qp.remote,
+                                                 nbytes=len(payload))
         self._post_verb(qp, elapsed)
         self.fabric.stats.writes += 1
         self.fabric.stats.bytes_written += len(payload)
@@ -386,6 +473,19 @@ class Fabric:
         #: shrunk remainder; single-threaded simulation makes a plain
         #: stack exact.
         self._deadlines: List[Optional[float]] = []
+        #: Node → rack membership (ZomFed).  Nodes never placed in a
+        #: rack pay no cross-rack surcharge, so single-rack setups are
+        #: bit-identical to the pre-federation fabric.
+        self._racks: Dict[str, str] = {}
+        #: Inter-rack cost models per (src_rack, dst_rack) pair, with
+        #: the catch-all default below.  None = cross-rack costing off.
+        self._rack_links: Dict[Tuple[str, str], InterRackLink] = {}
+        self.default_inter_rack_link: Optional[InterRackLink] = None
+        #: Plain federation counters (mirrored as ``fed_*`` metrics).
+        self.cross_rack_ops = 0
+        self.cross_rack_bytes = 0
+        self.cross_rack_joules = 0.0
+        self.message_faults.bind_rack_resolver(self.rack_of)
 
     # -- deadline propagation ---------------------------------------------
     def push_deadline(self, budget_s: Optional[float]) -> None:
@@ -424,6 +524,71 @@ class Fabric:
         if name not in self.nodes:
             raise RdmaError(f"unknown fabric node {name!r}")
         del self.nodes[name]
+
+    # -- rack topology (ZomFed) --------------------------------------------
+    def set_rack(self, name: str, rack: str) -> None:
+        """Place a node in a rack (enables inter-rack costing for it)."""
+        self.node(name)  # validate
+        self._racks[name] = rack
+
+    def rack_of(self, name: str) -> Optional[str]:
+        """The rack a node lives in (None = not federation-placed)."""
+        return self._racks.get(name)
+
+    def set_inter_rack_link(self, link: InterRackLink,
+                            src_rack: str = "*",
+                            dst_rack: str = "*") -> None:
+        """Register a cross-rack cost model (``"*"`` wildcards)."""
+        if src_rack == "*" and dst_rack == "*":
+            self.default_inter_rack_link = link
+        else:
+            self._rack_links[(src_rack, dst_rack)] = link
+
+    def cross_rack_link(self, src: str, dst: str) -> Optional[InterRackLink]:
+        """The link a ``src → dst`` message pays, or None when intra-rack."""
+        src_rack = self._racks.get(src)
+        dst_rack = self._racks.get(dst)
+        if src_rack is None or dst_rack is None or src_rack == dst_rack:
+            return None
+        for key in ((src_rack, dst_rack), ("*", dst_rack), (src_rack, "*")):
+            link = self._rack_links.get(key)
+            if link is not None:
+                return link
+        return self.default_inter_rack_link
+
+    def charge_cross_rack(self, src: str, dst: str, *, rpcs: int = 0,
+                          nbytes: int = 0) -> float:
+        """Accrue the federation surcharge for one ``src → dst`` crossing.
+
+        Returns the extra latency the caller adds to its elapsed time;
+        the energy lands on ``fed_*`` counters labelled by rack pair so
+        ZomAudit can price placement quality in J/hour terms.
+        """
+        link = self.cross_rack_link(src, dst)
+        if link is None:
+            return 0.0
+        joules = rpcs * link.joules_per_rpc + nbytes * link.joules_per_byte
+        self.cross_rack_ops += rpcs
+        self.cross_rack_bytes += nbytes
+        self.cross_rack_joules += joules
+        registry = self.telemetry.registry
+        labels = {"src_rack": self._racks[src],
+                  "dst_rack": self._racks[dst]}
+        if rpcs:
+            registry.counter(
+                "fed_cross_rack_ops_total",
+                "messages that crossed an inter-rack link",
+                **labels).inc(rpcs)
+        if nbytes:
+            registry.counter(
+                "fed_cross_rack_bytes_total",
+                "payload bytes that crossed an inter-rack link",
+                **labels).inc(nbytes)
+        registry.counter(
+            "fed_cross_rack_joules_total",
+            "energy surcharge accrued on inter-rack links",
+            **labels).inc(joules)
+        return link.extra_latency_s
 
     # -- fault injection ---------------------------------------------------
     def partition(self, name: str) -> None:

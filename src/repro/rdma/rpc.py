@@ -682,6 +682,11 @@ class RpcClient:
                         "Message faults injected by the adversarial fabric.",
                         kind=kind).inc()
         extra_latency = decision.extra_latency_s if decision else 0.0
+        # Cross-rack federation surcharge: charged per attempt (every
+        # attempt is a fresh crossing of the inter-rack link) and folded
+        # into the latency so the delivered deadline budget shrinks too.
+        extra_latency += fabric.charge_cross_rack(
+            self.node.name, self.server.node.name, rpcs=1)
         # Stamp the exactly-once / deadline metadata (re-stamped per
         # attempt: dispatch pops it, like the trace context above).
         if self._req_id is not None:

@@ -25,11 +25,20 @@ def _walk(model, names):
 
 class TestBounds:
     def test_catalogue(self):
-        assert set(BOUNDS) == {"tiny", "small", "medium"}
+        assert set(BOUNDS) == {"tiny", "small", "medium", "fed"}
         for bounds in BOUNDS.values():
             assert isinstance(bounds, Bounds)
             assert bounds.hosts >= 2
             assert bounds.buffers_per_host >= 1
+        assert BOUNDS["fed"].racks == 2
+
+    def test_rack_mapping(self):
+        fed = BOUNDS["fed"]
+        assert [fed.rack_of(h) for h in range(fed.hosts)] == [0, 0, 1]
+        assert fed.rack_name(0) == "r1"
+        assert fed.rack_name(2) == "r2"
+        single = BOUNDS["small"]
+        assert {single.rack_of(h) for h in range(single.hosts)} == {0}
 
     def test_buffer_ownership_roundtrip(self):
         bounds = BOUNDS["small"]

@@ -1,0 +1,186 @@
+"""ZomFed under fire: donor failover plus adversarial inter-rack links.
+
+Two legs, mirroring ``tests/test_message_chaos.py`` for the cross-rack
+plane:
+
+- **failover**: killing a borrowed-from rack's primary must leave every
+  loan intact on the promoted secondary (the journal mirrors the grant),
+  re-attachable by the lending plane, recallable under the new fencing
+  epoch, and the deposed primary fenced out of the revocation channel;
+- **message faults**: ``REPLY_LOSS``/``DUPLICATE`` injected on the
+  inter-rack links must leave the borrow/return/recall storm's final
+  state fingerprint-identical to the fault-free run — the ``FED_*``
+  verbs are ``dedup_required``, so a lost reply or duplicated request
+  can never double-lend or double-free.
+
+CI sweeps seeds via ``ZOMNET_CHAOS_SEEDS`` (same contract as the
+intra-rack chaos matrix); any failure replays locally with the same
+value.
+"""
+
+import os
+
+import pytest
+
+from repro.core.protocol import Method
+from repro.errors import AllocationError, FencingError
+from repro.fed import Federation
+from repro.rdma.fabric import DUPLICATE, REPLY_LOSS, LinkFaults
+from repro.units import MiB
+
+BUFF = 16 * MiB
+
+
+def _seeds():
+    """CI's chaos-matrix job sweeps seeds via ZOMNET_CHAOS_SEEDS."""
+    raw = os.environ.get("ZOMNET_CHAOS_SEEDS", "7")
+    return tuple(int(s) for s in raw.split(",") if s.strip())
+
+
+def _build(seed, install_faults=None):
+    fed = Federation(n_racks=2, hosts_per_rack=3, memory_bytes=512 * MiB,
+                     buff_size=BUFF, rng_seed=seed)
+    if install_faults is not None:
+        install_faults(fed.fabric.message_faults)
+    for host in ("rack1/h2", "rack1/h3", "rack2/h2"):
+        fed.make_zombie(host)
+    return fed
+
+
+def _drain_until_borrow(fed, tenant="rack2/h1", rounds=512):
+    for _ in range(rounds):
+        if fed.gateway.lending_triggers > 0:
+            break
+        fed.gateway.alloc_ext(tenant, 4 * BUFF)
+    assert fed.lending.borrows > 0, "lending never engaged"
+
+
+def _lending_storm(fed):
+    """Borrow repeatedly, proactively return half, then recall the rest
+    by waking the donor hosts — every cross-rack interaction class, with
+    enough cross-rack messages for a probabilistic plan to really bite."""
+    _drain_until_borrow(fed)
+    for _ in range(12):
+        try:
+            fed.gateway.alloc_ext("rack2/h1", 4 * BUFF)
+        except AllocationError:
+            break  # the whole federation went dry — that is the storm's end
+    loan_ids = sorted(fed.lending.loans)
+    fed.lending.return_loans("rack2", "rack1",
+                             loan_ids[:len(loan_ids) // 2])
+    fed.wake("rack1/h2", reclaim_bytes=512 * MiB)
+    fed.wake("rack1/h3", reclaim_bytes=512 * MiB)
+    fed.lending.pump_recalls()
+
+
+def _fingerprint(fed):
+    """Fault-independent final state.  Globally counted ids (buffer ids,
+    request ids) and simulated timestamps are deliberately excluded —
+    a second federation in the same process starts further along the id
+    streams without changing what the protocol agreed on."""
+    racks = tuple(
+        (name,
+         tuple(sorted(rack.controller.pool_summary().items())),
+         rack.controller.epoch,
+         len(rack.controller.db.free_buffers()))
+        for name, rack in sorted(fed.racks.items()))
+    loans = tuple(sorted((loan.donor, loan.borrower)
+                         for loan in fed.lending.loans.values()))
+    counters = (fed.lending.borrows, fed.lending.returns,
+                fed.lending.recalls, len(fed.lending.pending_recalls))
+    return racks, loans, counters
+
+
+class TestDonorFailover:
+    def test_loans_survive_and_rehome_to_the_promoted_secondary(self):
+        fed = _build(7)
+        _drain_until_borrow(fed)
+        donor_rack = fed.racks["rack1"]
+        deposed = donor_rack.controller
+        old_epoch = deposed.epoch
+        loan_ids = sorted(fed.lending.loans)
+
+        donor_rack.kill_controller()
+        fed.engine.run(until=10.0)
+        promoted = donor_rack.controller
+        assert promoted is not deposed
+        assert promoted.epoch == old_epoch + 1
+        assert promoted.recovery is donor_rack.recovery
+
+        # The grants were journaled, so the mirrored database on the
+        # promoted secondary still carries every outstanding loan.
+        for buffer_id in loan_ids:
+            assert buffer_id in promoted.db
+            assert promoted.db.get(buffer_id).allocated
+
+        # A fresh borrow re-attaches the lending agent under the new
+        # primary and keeps granting from the re-homed pool.
+        more = fed.lending.borrow("rack2", "rack1", 2)
+        assert more == 2
+        agent = fed.lending.agents[("rack2", "rack1")]
+        assert agent.node.name in promoted.agent_clients
+
+        # Once the agent has learnt the new epoch, the deposed primary
+        # is fenced out of the revocation channel it used to own.
+        promoted._agent_call(agent.node.name, Method.HEARTBEAT)
+        assert agent.donor_epoch == promoted.epoch
+        with pytest.raises(FencingError):
+            deposed._agent_call(agent.node.name, Method.HEARTBEAT)
+
+        # And the loans stay fully recallable through the new primary.
+        fed.lending.return_loans("rack2", "rack1")
+        assert fed.lending.loans == {}
+        assert fed.lending.pending_recalls == []
+
+    def test_donor_recall_still_flows_after_failover(self):
+        fed = _build(11)
+        _drain_until_borrow(fed)
+        donor_rack = fed.racks["rack1"]
+        donor_rack.kill_controller()
+        fed.engine.run(until=10.0)
+        # Waking the donor hosts revokes the loans through the promoted
+        # primary — the borrower side drops them without manual help.
+        fed.wake("rack1/h2", reclaim_bytes=512 * MiB)
+        fed.wake("rack1/h3", reclaim_bytes=512 * MiB)
+        fed.lending.pump_recalls()
+        assert fed.lending.loans_from("rack1") == []
+        assert fed.lending.recalls > 0
+        assert fed.lending.pending_recalls == []
+
+
+class TestInterRackMessageFaults:
+    @pytest.mark.parametrize("seed", _seeds())
+    def test_probabilistic_faults_keep_state_identical(self, seed):
+        clean = _build(seed)
+        _lending_storm(clean)
+        baseline = _fingerprint(clean)
+
+        # One scripted loss on top of the probabilistic plan: whatever
+        # the seed's draw stream does, at least one fault provably fires.
+        def install(inj):
+            inj.set_rack_link("*", "*",
+                              LinkFaults(reply_loss=0.08, duplicate=0.12))
+            inj.script_rack("*", "*", REPLY_LOSS, method="FED_borrow")
+
+        faulty = _build(seed, install_faults=install)
+        _lending_storm(faulty)
+        assert _fingerprint(faulty) == baseline
+
+        injected = faulty.fabric.message_faults.injected
+        assert injected[REPLY_LOSS] + injected[DUPLICATE] >= 1, (
+            "the inter-rack fault plan never fired — the storm has no "
+            "cross-rack traffic to attack?")
+
+    @pytest.mark.parametrize("kind", (REPLY_LOSS, DUPLICATE))
+    @pytest.mark.parametrize("verb", ("FED_borrow", "FED_return"))
+    def test_scripted_fault_on_each_fed_verb(self, kind, verb):
+        clean = _build(7)
+        _lending_storm(clean)
+        baseline = _fingerprint(clean)
+
+        fed = _build(7, install_faults=lambda inj: inj.script_rack(
+            "*", "*", kind, method=verb))
+        _lending_storm(fed)
+        assert _fingerprint(fed) == baseline
+        fired = sum(fed.fabric.message_faults.injected.values())
+        assert fired >= 1, f"scripted {kind} on {verb!r} never fired"

@@ -518,6 +518,87 @@ class TestZL008IdempotencyDeclarations:
         assert lint_paths([str(REPO_SRC)], rules=["ZL008"]) == []
 
 
+class TestZL007FedMetricContract:
+    """The ZomFed entries of the fleet-audit metric contract."""
+
+    _FABRIC_OK = (
+        "class Fabric:\n"
+        "    def charge(self, registry):\n"
+        "        registry.counter('fed_cross_rack_ops_total', 'O.').inc()\n"
+        "        registry.counter('fed_cross_rack_bytes_total', 'B.')"
+        ".inc(1)\n"
+        "        registry.counter('fed_cross_rack_joules_total', 'J.')"
+        ".inc(0.1)\n"
+    )
+    _DIRECTORY_OK = (
+        "class Directory:\n"
+        "    def publish(self, registry):\n"
+        "        registry.gauge('fed_rack_alive', 'Up.').set(1)\n"
+        "        registry.gauge('fed_rack_free_zombie_bytes', 'F.').set(0)\n"
+    )
+
+    def _tree(self, tmp_path, fabric_source, directory_source):
+        src = tmp_path / "src" / "repro"
+        (src / "rdma").mkdir(parents=True)
+        (src / "rdma" / "fabric.py").write_text(fabric_source)
+        (src / "fed").mkdir(parents=True)
+        (src / "fed" / "directory.py").write_text(directory_source)
+        return tmp_path / "src"
+
+    def test_all_fed_metrics_registered_is_clean(self, tmp_path):
+        src = self._tree(tmp_path, self._FABRIC_OK, self._DIRECTORY_OK)
+        assert lint_paths([str(src)], rules=["ZL007"]) == []
+
+    def test_dropped_cross_rack_energy_counter_flagged(self, tmp_path):
+        dropped = self._FABRIC_OK.replace(
+            "        registry.counter('fed_cross_rack_joules_total', 'J.')"
+            ".inc(0.1)\n", "")
+        src = self._tree(tmp_path, dropped, self._DIRECTORY_OK)
+        findings = lint_paths([str(src)], rules=["ZL007"])
+        assert _rules(findings) == ["ZL007"]
+        assert "fed_cross_rack_joules_total" in findings[0].message
+
+    def test_dropped_rack_liveness_gauge_flagged(self, tmp_path):
+        dropped = self._DIRECTORY_OK.replace(
+            "        registry.gauge('fed_rack_alive', 'Up.').set(1)\n", "")
+        src = self._tree(tmp_path, self._FABRIC_OK, dropped)
+        findings = lint_paths([str(src)], rules=["ZL007"])
+        assert _rules(findings) == ["ZL007"]
+        assert "fed_rack_alive" in findings[0].message
+
+
+class TestZL008FedVerbs:
+    """The delivery-semantics contract over the cross-rack verb pair."""
+
+    def test_declared_fed_registration_is_clean(self, tmp_path):
+        src = _idem_tree(tmp_path,
+                         contract={"FED_borrow": "dedup_required",
+                                   "FED_return": "dedup_required"},
+                         model_verbs=("FED_borrow", "FED_return"))
+        assert lint_paths([str(src)], rules=["ZL008"]) == []
+
+    def test_fed_borrow_registered_as_idempotent_flagged(self, tmp_path):
+        # Re-executing a borrow grants the loan twice; the registration
+        # literal must match the contract's dedup_required.
+        src = _idem_tree(tmp_path,
+                         contract={"FED_borrow": "dedup_required"},
+                         registered={"FED_borrow": '"idempotent"'},
+                         model_verbs=("FED_borrow",))
+        findings = lint_paths([str(src)], rules=["ZL008"])
+        assert _rules(findings) == ["ZL008"]
+        assert "FED_borrow" in findings[0].message
+        assert "contradicts the contract" in findings[0].message
+
+    def test_fed_verb_missing_from_contract_flagged(self, tmp_path):
+        src = _idem_tree(tmp_path,
+                         contract={"FED_borrow": "dedup_required"},
+                         model_verbs=("FED_borrow", "FED_return"))
+        findings = lint_paths([str(src)], rules=["ZL008"])
+        assert _rules(findings) == ["ZL008"]
+        assert "FED_return" in findings[0].message
+        assert "undeclared" in findings[0].message
+
+
 class TestDriver:
     def test_syntax_error_reported_as_zl000(self):
         findings = lint_source("def broken(:\n")

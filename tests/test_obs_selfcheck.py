@@ -5,7 +5,9 @@ import pytest
 from repro.check.model import RPC_ACTION_VERBS
 from repro.obs import Telemetry
 from repro.obs.__main__ import main as obs_main
-from repro.obs.selfcheck import run_golden_scenario, self_check
+from repro.obs.selfcheck import (FED_VERBS, INTRA_RACK_VERBS,
+                                 connected_subtree, run_federation_scenario,
+                                 run_golden_scenario, self_check)
 from repro.obs.tracing import span_forest_errors
 
 
@@ -14,13 +16,19 @@ def golden_rack():
     return run_golden_scenario()
 
 
+@pytest.fixture(scope="module")
+def federation():
+    return run_federation_scenario()
+
+
 class TestGoldenScenario:
-    def test_all_fifteen_verbs_complete_a_traced_call(self, golden_rack):
+    def test_all_intra_rack_verbs_complete_a_traced_call(self, golden_rack):
         tel = golden_rack.telemetry
         seen = {labels.get("verb") for labels
                 in tel.registry.labels_for("rpc_call_seconds")}
-        assert set(RPC_ACTION_VERBS) <= seen
-        assert len(RPC_ACTION_VERBS) == 15
+        assert set(INTRA_RACK_VERBS) <= seen
+        assert len(RPC_ACTION_VERBS) == 17
+        assert len(INTRA_RACK_VERBS) == 15
 
     def test_span_forest_is_connected(self, golden_rack):
         tracer = golden_rack.telemetry.tracer
@@ -42,6 +50,32 @@ class TestGoldenScenario:
 
     def test_self_check_is_green(self):
         assert self_check() == []
+
+
+class TestFederationScenario:
+    def test_fed_verbs_complete_a_traced_call(self, federation):
+        tel = federation.telemetry
+        seen = {labels.get("verb") for labels
+                in tel.registry.labels_for("rpc_call_seconds")}
+        assert set(FED_VERBS) <= seen
+        assert len(FED_VERBS) == 2
+
+    def test_cross_rack_borrow_is_one_connected_tree(self, federation):
+        tracer = federation.telemetry.tracer
+        borrows = tracer.finished("call.FED_borrow")
+        assert borrows
+        trace = tracer.trace(borrows[0].trace_id)
+        assert span_forest_errors(trace) == []
+        subtree = connected_subtree(trace, "call.FED_borrow")
+        assert any(s.name == "serve.FED_borrow" for s in subtree)
+
+    def test_rack_labelled_metrics_and_energy(self, federation):
+        registry = federation.telemetry.registry
+        racks = {labels.get("rack")
+                 for labels in registry.labels_for("fed_rack_alive")}
+        assert racks == {"rack1", "rack2"}
+        assert federation.fabric.cross_rack_joules > 0
+        assert registry.labels_for("fed_cross_rack_joules_total")
 
 
 class TestCli:
